@@ -1,0 +1,97 @@
+"""Figure 6: manual inspection of sampled warnings -> precision estimate.
+
+Paper: 40 randomly sampled flagged contracts with verified sources,
+inspected by hand; 33/40 warnings valid => 82.5% precision.  Per-category:
+accessible selfdestruct 10/10, tainted selfdestruct 6/6, tainted owner
+15/21, tainted delegatecall 1/1, unchecked staticcall 1/2.
+
+Our corpus carries ground-truth labels, so "manual inspection" becomes an
+exact comparison.  The sampling protocol mirrors the paper: contracts are
+sorted by (hashed) identity, sampled until every flagged category is
+represented, warnings scored per category.
+
+Shape to reproduce: high overall precision (well above the baselines'
+near-zero), with the documented FP classes (one-shot initializers,
+game-winner slots, dead-state guards) supplying the shortfall.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.vulnerabilities import VULNERABILITY_KINDS
+
+PAPER_PER_KIND = {
+    "accessible-selfdestruct": (10, 10),
+    "tainted-selfdestruct": (6, 6),
+    "tainted-owner-variable": (15, 21),
+    "tainted-delegatecall": (1, 1),
+    "unchecked-tainted-staticcall": (1, 2),
+}
+SAMPLE_TARGET = 40
+
+
+def test_fig6_precision(benchmark, corpus, analyzed):
+    def experiment():
+        flagged = [
+            contract
+            for contract in analyzed.flagged_any()
+            if contract.has_source  # paper: verified sources on Etherscan
+        ]
+        # Deterministic "random" order: sort by a hash of the name, like the
+        # paper's lexicographic sort of contract address hashes.
+        from repro.evm.hashing import keccak_int
+
+        flagged.sort(key=lambda c: keccak_int(c.name.encode()))
+        sample = flagged[:SAMPLE_TARGET] if len(flagged) > SAMPLE_TARGET else flagged
+
+        per_kind = {kind: [0, 0] for kind in VULNERABILITY_KINDS}
+        for contract in sample:
+            result = analyzed.results[contract.index]
+            for kind in {w.kind for w in result.warnings}:
+                per_kind[kind][1] += 1
+                if kind in contract.labels:
+                    per_kind[kind][0] += 1
+        return sample, per_kind
+
+    sample, per_kind = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    total_tp = total = 0
+    for kind in VULNERABILITY_KINDS:
+        tp, count = per_kind[kind]
+        total_tp += tp
+        total += count
+        paper_tp, paper_count = PAPER_PER_KIND[kind]
+        rows.append(
+            (
+                kind,
+                "%d/%d" % (paper_tp, paper_count),
+                "%d/%d" % (tp, count),
+            )
+        )
+    precision = total_tp / total if total else 0.0
+    rows.append(("TOTAL", "33/40 (82.5%)", "%d/%d (%.1f%%)" % (total_tp, total, 100 * precision)))
+    print_table(
+        "Figure 6 — sampled-warning precision (paper: manual inspection; "
+        "here: ground truth)",
+        ["vulnerability", "paper TP", "measured TP"],
+        rows,
+    )
+
+    # Shape assertions.
+    assert len(sample) >= 15  # enough flagged-with-source contracts to score
+    assert precision >= 0.6  # high precision (paper: 82.5%)
+    # The documented FP classes appear in the corpus at large (the random
+    # sample may or may not catch one, exactly like the paper's 40).
+    corpus_fps = [
+        contract
+        for contract in analyzed.flagged_any()
+        if {w.kind for w in analyzed.results[contract.index].warnings}
+        - contract.labels
+    ]
+    assert corpus_fps, "expected some false positives corpus-wide"
+    # Accessible/tainted selfdestruct stay the most precise categories,
+    # tainted-owner supplies FPs (its Fig. 6 row is the weakest).
+    owner_tp, owner_total = per_kind["tainted-owner-variable"]
+    if owner_total:
+        sd_tp, sd_total = per_kind["tainted-selfdestruct"]
+        if sd_total:
+            assert sd_tp / sd_total >= owner_tp / owner_total

@@ -1,0 +1,153 @@
+"""Figure 7: comparison with Securify2 over the source-available universe.
+
+Paper (6,094 analyzable contracts out of 7,276 compiling with solc 0.5.8+,
+which is <3% of all deployed contracts):
+
+    outcome / vulnerability        Securify2            Ethainter
+    timeouts (at 120 s)            441                  117
+    accessible selfdestruct        5  (TP 5/5)          15 (TP 11/15)
+    tainted owner / unr. write     3502 (TP 0/10)       161 (TP 6/10)
+    tainted delegatecall           3  (TP 0/3)          21 (TP 15/21)
+
+Shape to reproduce: Securify2's domain is a small slice of the corpus; its
+selfdestruct reports are few but precise; its unrestricted-write pattern is
+orders of magnitude noisier than Ethainter's tainted-owner with ~zero
+precision; its
+delegatecall completeness collapses because the pattern hides in inline
+assembly; Ethainter reports more findings at high precision on the same
+universe.
+"""
+
+from benchmarks.conftest import print_table
+from repro.baselines import Securify2Analysis
+from repro.baselines.securify2 import (
+    UNRESTRICTED_DELEGATECALL,
+    UNRESTRICTED_SELFDESTRUCT,
+    UNRESTRICTED_WRITE,
+)
+from repro.core.vulnerabilities import (
+    ACCESSIBLE_SELFDESTRUCT,
+    TAINTED_DELEGATECALL,
+    TAINTED_OWNER,
+)
+
+
+def test_fig7_securify2_comparison(benchmark, corpus, analyzed):
+    def experiment():
+        securify2 = Securify2Analysis()
+        universe = [c for c in corpus if c.securify2_applicable]
+        outcomes = []
+        timeouts = 0
+        for contract in universe:
+            result = securify2.analyze(
+                contract.source,
+                contract.name,
+                contract.solidity_version,
+                contract.has_source,
+                contract.inline_assembly,
+            )
+            if result.timed_out:
+                timeouts += 1
+                continue
+            outcomes.append((contract, result))
+        return universe, outcomes, timeouts
+
+    universe, outcomes, timeouts = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    def score(pairs, truth_kind):
+        true_positive = sum(1 for c in pairs if truth_kind in c.labels)
+        return true_positive, len(pairs)
+
+    s2_selfdestruct = [c for c, r in outcomes if UNRESTRICTED_SELFDESTRUCT in r.patterns()]
+    s2_write = [c for c, r in outcomes if UNRESTRICTED_WRITE in r.patterns()]
+    s2_delegate = [c for c, r in outcomes if UNRESTRICTED_DELEGATECALL in r.patterns()]
+
+    eth_universe = [
+        (c, analyzed.results[c.index]) for c in universe
+    ]
+    eth_selfdestruct = [c for c, r in eth_universe if r.has(ACCESSIBLE_SELFDESTRUCT)]
+    eth_owner = [c for c, r in eth_universe if r.has(TAINTED_OWNER)]
+    eth_delegate = [c for c, r in eth_universe if r.has(TAINTED_DELEGATECALL)]
+
+    rows = [
+        ("universe size", "6094", len(universe)),
+        ("securify2 timeouts", "441", timeouts),
+        (
+            "accessible selfdestruct",
+            "S2: 5 (5/5)  Eth: 15 (11/15)",
+            "S2: %d (%d/%d)  Eth: %d (%d/%d)"
+            % (
+                len(s2_selfdestruct),
+                *score(s2_selfdestruct, ACCESSIBLE_SELFDESTRUCT),
+                len(eth_selfdestruct),
+                *score(eth_selfdestruct, ACCESSIBLE_SELFDESTRUCT),
+            ),
+        ),
+        (
+            "owner / unrestricted write",
+            "S2: 3502 (0/10)  Eth: 161 (6/10)",
+            "S2: %d (%d/%d)  Eth: %d (%d/%d)"
+            % (
+                len(s2_write),
+                *score(s2_write, TAINTED_OWNER),
+                len(eth_owner),
+                *score(eth_owner, TAINTED_OWNER),
+            ),
+        ),
+        (
+            "tainted delegatecall",
+            "S2: 3 (0/3)  Eth: 21 (15/21)",
+            "S2: %d (%d/%d)  Eth: %d (%d/%d)"
+            % (
+                len(s2_delegate),
+                *score(s2_delegate, TAINTED_DELEGATECALL),
+                len(eth_delegate),
+                *score(eth_delegate, TAINTED_DELEGATECALL),
+            ),
+        ),
+    ]
+    print_table("Figure 7 — Securify2 vs Ethainter", ["row", "paper", "measured"], rows)
+
+    # Shape assertions.
+    assert 0 < len(universe) < len(corpus) * 0.6  # a minority slice
+    # Unrestricted write is the noise firehose with ~zero precision.
+    write_tp, write_total = score(s2_write, TAINTED_OWNER)
+    if write_total:
+        assert write_tp / write_total < 0.2
+    assert len(s2_write) > len(eth_owner)
+    # Inline assembly hides the delegatecall pattern from the source tool:
+    # Ethainter finds at least as many, including all assembly-based ones.
+    assembly_delegates = [
+        c
+        for c in universe
+        if TAINTED_DELEGATECALL in c.labels and c.inline_assembly
+    ]
+    for contract in assembly_delegates:
+        assert analyzed.results[contract.index].has(TAINTED_DELEGATECALL)
+        securify2 = Securify2Analysis().analyze(
+            contract.source,
+            contract.name,
+            contract.solidity_version,
+            contract.has_source,
+            contract.inline_assembly,
+        )
+        assert UNRESTRICTED_DELEGATECALL not in securify2.patterns()
+    # Ethainter's findings on the same universe are more precise overall.
+    eth_flagged = [c for c, r in eth_universe if r.flagged]
+    if eth_flagged:
+        eth_precision = sum(1 for c in eth_flagged if c.is_vulnerable) / len(eth_flagged)
+        assert eth_precision >= 0.5
+
+
+def test_securify2_single_contract_cost(benchmark, corpus):
+    contract = next(c for c in corpus if c.securify2_applicable)
+    result = benchmark(
+        lambda: Securify2Analysis().analyze(
+            contract.source,
+            contract.name,
+            contract.solidity_version,
+            contract.has_source,
+            contract.inline_assembly,
+        )
+    )
+    assert result.applicable

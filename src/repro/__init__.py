@@ -1,0 +1,36 @@
+"""Reproduction of "Ethainter: A Smart Contract Security Analyzer for
+Composite Vulnerabilities" (Brent, Grech, Lagouvardos, Scholz, Smaragdakis;
+PLDI 2020).
+
+Top-level convenience re-exports; see DESIGN.md for the system inventory.
+
+Quickstart::
+
+    from repro import compile_source, analyze_bytecode
+
+    contract = compile_source(source_text)
+    result = analyze_bytecode(contract.runtime)
+    for warning in result.warnings:
+        print(warning.kind, warning.detail)
+"""
+
+from repro.core import (
+    AnalysisConfig,
+    AnalysisResult,
+    EthainterAnalysis,
+    Warning,
+    analyze_bytecode,
+)
+from repro.minisol import compile_source
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analyze_bytecode",
+    "compile_source",
+    "EthainterAnalysis",
+    "AnalysisConfig",
+    "AnalysisResult",
+    "Warning",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baseline analyzers reproduced for the paper's tool comparison (§6.2).
+
+Three tools at three design points:
+
+* :mod:`repro.baselines.securify` — bytecode-level pattern analysis without
+  data-structure or guard-taint modeling (the original Securify's
+  "unrestricted write" and "missing input validation" violation patterns),
+* :mod:`repro.baselines.securify2` — source-level analysis over the MiniSol
+  AST, applicable only to recent-compiler sources, blind to inline-assembly
+  patterns, no composite-taint rules,
+* :mod:`repro.baselines.teether` — symbolic execution over EVM bytecode with
+  exploit generation for (accessible/tainted) selfdestruct; high per-report
+  confidence, single-transaction scope, path-explosion timeouts.
+"""
+
+from repro.baselines.securify import SecurifyAnalysis, SecurifyResult
+from repro.baselines.securify2 import Securify2Analysis, Securify2Result
+from repro.baselines.teether import TeEtherAnalysis, TeEtherResult
+
+__all__ = [
+    "SecurifyAnalysis",
+    "SecurifyResult",
+    "Securify2Analysis",
+    "Securify2Result",
+    "TeEtherAnalysis",
+    "TeEtherResult",
+]

@@ -1,0 +1,206 @@
+"""A Securify-like bytecode pattern analyzer (Tsankov et al., CCS'18).
+
+Reimplements the two violation patterns the paper compares against (§6.2),
+with the original tool's documented imprecision sources deliberately kept:
+
+* **unrestricted write** — an ``SSTORE`` whose address is not a compile-time
+  constant, or whose enclosing code is not dominated by *any*
+  sender-equality check.  Securify does not model Solidity mappings as
+  high-level data structures: the hash-derived addresses of
+  ``balances[to] = v`` are "only pointer arithmetic", so every mapping write
+  looks unrestricted — exactly the false-positive class the paper dissects.
+* **missing input validation** — a calldata-derived value that flows into a
+  state-affecting instruction (``SSTORE``, ``MSTORE``, ``SHA3``, ``CALL``
+  family) without first flowing into an *equality* comparison used by a
+  ``JUMPI``.  Range checks (``LT``/``GT``) are not recognized as validation
+  — the paper's example ("the condition that checks for underflows is not
+  understood").
+
+No guard tainting, no storage-flavored taint, no composite reasoning: the
+tool is flow-insensitive pattern matching, which is what produces its very
+high flag rate (the paper measures 39.2% of contracts flagged for these two
+patterns, and 0/40 end-to-end precision in the manual sample).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.core.facts import extract_facts
+from repro.core.storage_model import memory_var
+from repro.decompiler import LiftError, lift
+
+UNRESTRICTED_WRITE = "unrestricted-write"
+MISSING_INPUT_VALIDATION = "missing-input-validation"
+
+
+@dataclass
+class SecurifyViolation:
+    pattern: str
+    statement: str
+    pc: int
+    detail: str = ""
+
+
+@dataclass
+class SecurifyResult:
+    violations: List[SecurifyViolation] = field(default_factory=list)
+    error: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def flagged(self) -> bool:
+        return bool(self.violations)
+
+    def patterns(self) -> Set[str]:
+        return {violation.pattern for violation in self.violations}
+
+
+class SecurifyAnalysis:
+    """Analyzes one contract's runtime bytecode with the Securify patterns."""
+
+    def __init__(self, timeout_seconds: float = 120.0):
+        self.timeout_seconds = timeout_seconds
+
+    def analyze(self, runtime_bytecode: bytes) -> SecurifyResult:
+        started = time.monotonic()
+        result = SecurifyResult()
+        try:
+            program = lift(runtime_bytecode)
+        except LiftError as error:
+            result.error = "lift-error: %s" % error
+            result.elapsed_seconds = time.monotonic() - started
+            return result
+        facts = extract_facts(program)
+
+        # ---------------------------------------------- taint propagation
+        # Flat, flavor-less forward taint from calldata, with no guard
+        # modeling at all (everything propagates everywhere).
+        tainted: Set[str] = {variable for variable, _ in facts.calldata_defs}
+        edges = [(s, d) for s, d, _ in facts.flow_edges]
+        for write in facts.memory_writes:
+            edges.append((write.var, memory_var(write.address)))
+        for read in facts.memory_reads:
+            edges.append((memory_var(read.address), read.var))
+        # Storage round-trips propagate too (no flavor distinction).
+        slot_tainted: Set[int] = set()
+        changed = True
+        while changed:
+            changed = False
+            for source, dest in edges:
+                if source in tainted and dest not in tainted:
+                    tainted.add(dest)
+                    changed = True
+            for store in facts.storage_stores:
+                if store.value_var in tainted and store.const_slot is not None:
+                    if store.const_slot not in slot_tainted:
+                        slot_tainted.add(store.const_slot)
+                        changed = True
+            for load in facts.storage_loads:
+                if (
+                    load.const_slot in slot_tainted
+                    and load.def_var is not None
+                    and load.def_var not in tainted
+                ):
+                    tainted.add(load.def_var)
+                    changed = True
+
+        # Values "validated": they flow into an EQ whose result reaches a
+        # JUMPI condition.  (Only equality counts — Securify's pattern.)
+        eq_inputs: Set[str] = set()
+        defining = facts.def_stmt
+        jumpi_conditions = {stmt.uses[1] for stmt in facts.jumpis}
+
+        def condition_reaches_jumpi(variable: str, depth: int = 0) -> bool:
+            if depth > 8:
+                return False
+            if variable in jumpi_conditions:
+                return True
+            # Walk forward one level through ISZERO/AND/OR wrappers.
+            for source, dest, stmt in facts.flow_edges:
+                if source == variable and stmt.opcode in ("ISZERO", "AND", "OR"):
+                    if condition_reaches_jumpi(dest, depth + 1):
+                        return True
+            return False
+
+        for stmt in program.statements():
+            if stmt.opcode == "EQ" and condition_reaches_jumpi(stmt.def_var):
+                eq_inputs.update(stmt.uses)
+
+        validated: Set[str] = set(eq_inputs)
+        # Closure in both directions: anything flowing into a validated
+        # value is validated (the original input word), and so is anything
+        # that value flows to (sibling copies of the same input).
+        changed = True
+        while changed:
+            changed = False
+            for source, dest in edges:
+                if dest in validated and source not in validated:
+                    validated.add(source)
+                    changed = True
+                if source in validated and dest not in validated:
+                    validated.add(dest)
+                    changed = True
+
+        # ------------------------------------------------------- patterns
+        sender_equalities_present = any(
+            stmt.opcode == "EQ"
+            and any(
+                defining.get(use) is not None and defining[use].opcode == "CALLER"
+                for use in stmt.uses
+            )
+            for stmt in program.statements()
+        )
+
+        for store in facts.storage_stores:
+            if store.const_slot is None:
+                result.violations.append(
+                    SecurifyViolation(
+                        pattern=UNRESTRICTED_WRITE,
+                        statement=store.statement.ident,
+                        pc=store.statement.pc,
+                        detail="write through computed storage address",
+                    )
+                )
+            elif not sender_equalities_present:
+                result.violations.append(
+                    SecurifyViolation(
+                        pattern=UNRESTRICTED_WRITE,
+                        statement=store.statement.ident,
+                        pc=store.statement.pc,
+                        detail="state write with no sender check in contract",
+                    )
+                )
+
+        # Sinks per the original pattern (paper §6.2 footnote: "inputs that
+        # do not flow to a guard (JUMPI), yet flow to an SSTORE, SLOAD,
+        # MLOAD, MSTORE, HASH, or CALL"): address/key positions and call
+        # targets — the places where unvalidated input steers an access.
+        state_sinks: List[tuple] = []
+        for store in facts.storage_stores:
+            state_sinks.append((store.statement, store.address_var))
+        for load in facts.storage_loads:
+            state_sinks.append((load.statement, load.address_var))
+        for call in facts.calls:
+            state_sinks.append((call.statement, call.address_var))
+        for hash_fact in facts.hashes:
+            for arg in hash_fact.args:
+                state_sinks.append((hash_fact.statement, arg))
+
+        seen: Set[str] = set()
+        for stmt, variable in state_sinks:
+            if variable in tainted and variable not in validated and stmt.ident not in seen:
+                seen.add(stmt.ident)
+                result.violations.append(
+                    SecurifyViolation(
+                        pattern=MISSING_INPUT_VALIDATION,
+                        statement=stmt.ident,
+                        pc=stmt.pc,
+                        detail="unvalidated input reaches %s" % stmt.opcode,
+                    )
+                )
+
+        result.elapsed_seconds = time.monotonic() - started
+        return result

@@ -1,0 +1,271 @@
+"""A Securify2-like source-level analyzer (§6.2, Figure 7).
+
+Securify2 abandoned bytecode for Solidity source, gaining context-sensitive
+source patterns but shrinking its domain drastically: it only parses recent
+compiler versions (0.5.8+, under 3% of deployed contracts in the paper) and
+cannot see through inline assembly — which is where the tainted-delegatecall
+pattern usually lives, giving it "very low completeness for tainted
+delegatecall" and zero precision there.
+
+This reimplementation works on the MiniSol AST and reproduces those design
+consequences:
+
+* ``analyze`` refuses contracts without source or with
+  ``solidity_version < 0.5.8`` (``error="not-applicable"``),
+* contracts flagged ``inline_assembly`` yield no delegatecall/staticcall
+  findings (the construct is invisible at source level),
+* large contracts (by AST statement count) time out deterministically,
+* patterns: ``UnrestrictedSelfdestruct`` / ``UnrestrictedDelegateCall`` — a
+  sensitive statement with no ``msg.sender`` comparison anywhere on its
+  function's guard path (modifiers + requires); precise on simple cases but
+  with *no* notion of guard tainting, so the composite escalations Ethainter
+  finds are invisible,
+* ``UnrestrictedWrite`` — any state write in a function without a
+  ``msg.sender`` guard; extremely noisy (the paper counts 3,502 such
+  violations with 0/10 sampled precision).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.minisol import ast_nodes as ast
+from repro.minisol.parser import parse
+
+UNRESTRICTED_SELFDESTRUCT = "UnrestrictedSelfdestruct"
+UNRESTRICTED_DELEGATECALL = "UnrestrictedDelegateCall"
+UNRESTRICTED_WRITE = "UnrestrictedWrite"
+
+# Deterministic stand-in for the paper's 441-of-7276 timeout rate: contracts
+# with more AST statements than this cut-off are "too big".
+TIMEOUT_STATEMENT_COUNT = 60
+
+
+@dataclass
+class Securify2Violation:
+    pattern: str
+    function: str
+    line: int
+    detail: str = ""
+
+
+@dataclass
+class Securify2Result:
+    violations: List[Securify2Violation] = field(default_factory=list)
+    error: str = ""  # "not-applicable" | "timeout" | "parse-error" | ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def applicable(self) -> bool:
+        return self.error != "not-applicable"
+
+    @property
+    def timed_out(self) -> bool:
+        return self.error == "timeout"
+
+    @property
+    def flagged(self) -> bool:
+        return bool(self.violations)
+
+    def patterns(self) -> Set[str]:
+        return {violation.pattern for violation in self.violations}
+
+
+def _statement_count(stmt: ast.Stmt) -> int:
+    count = 1
+    if isinstance(stmt, ast.Block):
+        count += sum(_statement_count(child) for child in stmt.statements)
+    elif isinstance(stmt, ast.If):
+        count += _statement_count(stmt.then_branch)
+        if stmt.else_branch is not None:
+            count += _statement_count(stmt.else_branch)
+    elif isinstance(stmt, ast.While):
+        count += _statement_count(stmt.body)
+    return count
+
+
+def _mentions_sender_compare(expr: ast.Expr) -> bool:
+    """Does the expression compare or index with ``msg.sender``?"""
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == "==" and (
+            isinstance(expr.left, ast.MsgSender) or isinstance(expr.right, ast.MsgSender)
+        ):
+            return True
+        return _mentions_sender_compare(expr.left) or _mentions_sender_compare(expr.right)
+    if isinstance(expr, ast.UnaryOp):
+        return _mentions_sender_compare(expr.operand)
+    if isinstance(expr, ast.IndexAccess):
+        if isinstance(expr.index, ast.MsgSender):
+            return True
+        return _mentions_sender_compare(expr.base) or _mentions_sender_compare(expr.index)
+    return False
+
+
+def _requires_in(stmt: ast.Stmt) -> List[ast.Require]:
+    found: List[ast.Require] = []
+    if isinstance(stmt, ast.Require):
+        found.append(stmt)
+    elif isinstance(stmt, ast.Block):
+        for child in stmt.statements:
+            found.extend(_requires_in(child))
+    elif isinstance(stmt, ast.If):
+        found.extend(_requires_in(stmt.then_branch))
+        if stmt.else_branch is not None:
+            found.extend(_requires_in(stmt.else_branch))
+    elif isinstance(stmt, ast.While):
+        found.extend(_requires_in(stmt.body))
+    return found
+
+
+class Securify2Analysis:
+    """Source-level analyzer for one MiniSol contract."""
+
+    def __init__(self, timeout_statement_count: int = TIMEOUT_STATEMENT_COUNT):
+        self.timeout_statement_count = timeout_statement_count
+
+    def analyze(
+        self,
+        source: str,
+        contract_name: Optional[str] = None,
+        solidity_version: str = "0.5.8",
+        has_source: bool = True,
+        inline_assembly: bool = False,
+    ) -> Securify2Result:
+        started = time.monotonic()
+        result = Securify2Result()
+
+        if not has_source or not _version_at_least(solidity_version, (0, 5, 8)):
+            result.error = "not-applicable"
+            return result
+        try:
+            program = parse(source)
+        except Exception as error:  # noqa: BLE001 - any parse failure
+            result.error = "parse-error: %s" % error
+            return result
+        contracts = program.contracts
+        if contract_name is not None:
+            contracts = [c for c in contracts if c.name == contract_name]
+
+        for contract in contracts:
+            total = sum(_statement_count(fn.body) for fn in contract.functions)
+            if total > self.timeout_statement_count:
+                result.error = "timeout"
+                result.elapsed_seconds = time.monotonic() - started
+                return result
+            self._analyze_contract(contract, inline_assembly, result)
+        result.elapsed_seconds = time.monotonic() - started
+        return result
+
+    # ------------------------------------------------------------ internals
+
+    def _function_sender_guarded(self, contract: ast.Contract, fn: ast.FunctionDef) -> bool:
+        """Any msg.sender comparison/lookup on the function's guard path."""
+        conditions: List[ast.Expr] = []
+        for invocation in fn.modifiers:
+            for modifier in contract.modifiers:
+                if modifier.name == invocation.name:
+                    for require in _requires_in(modifier.body):
+                        conditions.append(require.condition)
+        for require in _requires_in(fn.body):
+            conditions.append(require.condition)
+        return any(_mentions_sender_compare(condition) for condition in conditions)
+
+    def _analyze_contract(
+        self, contract: ast.Contract, inline_assembly: bool, result: Securify2Result
+    ) -> None:
+        for fn in contract.functions:
+            if not fn.is_public:
+                continue
+            guarded = self._function_sender_guarded(contract, fn)
+            self._scan(fn, fn.body, guarded, inline_assembly, result)
+
+    def _scan(
+        self,
+        fn: ast.FunctionDef,
+        stmt: ast.Stmt,
+        guarded: bool,
+        inline_assembly: bool,
+        result: Securify2Result,
+    ) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.statements:
+                self._scan(fn, child, guarded, inline_assembly, result)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan(fn, stmt.then_branch, guarded, inline_assembly, result)
+            if stmt.else_branch is not None:
+                self._scan(fn, stmt.else_branch, guarded, inline_assembly, result)
+            return
+        if isinstance(stmt, ast.While):
+            self._scan(fn, stmt.body, guarded, inline_assembly, result)
+            return
+        if isinstance(stmt, ast.ExprStmt) and isinstance(stmt.expr, ast.CallExpr):
+            call = stmt.expr
+            if call.name == "selfdestruct" and not guarded:
+                result.violations.append(
+                    Securify2Violation(
+                        pattern=UNRESTRICTED_SELFDESTRUCT,
+                        function=fn.name,
+                        line=stmt.line,
+                    )
+                )
+            # Inline-assembly constructs are invisible to a source tool.
+            if call.name == "delegatecall" and not guarded and not inline_assembly:
+                result.violations.append(
+                    Securify2Violation(
+                        pattern=UNRESTRICTED_DELEGATECALL,
+                        function=fn.name,
+                        line=stmt.line,
+                    )
+                )
+            return
+        if isinstance(stmt, ast.Assign) and not guarded:
+            target = stmt.target
+            is_state_write = isinstance(target, ast.IndexAccess) or (
+                isinstance(target, ast.Identifier)
+                and any(var.name == target.name for var in _state_vars_of(fn))
+            )
+            # Without the enclosing contract we approximate: any assignment
+            # to an identifier that is not a declared local counts.
+            if isinstance(target, ast.Identifier):
+                local_names = {p.name for p in fn.params} | _local_names(fn.body)
+                is_state_write = target.name not in local_names
+            if is_state_write:
+                result.violations.append(
+                    Securify2Violation(
+                        pattern=UNRESTRICTED_WRITE,
+                        function=fn.name,
+                        line=stmt.line,
+                        detail="state write in unguarded function",
+                    )
+                )
+
+
+def _state_vars_of(fn: ast.FunctionDef) -> List[ast.StateVarDef]:
+    return []  # resolved via _local_names heuristic above
+
+
+def _local_names(stmt: ast.Stmt) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(stmt, ast.VarDecl):
+        names.add(stmt.name)
+    elif isinstance(stmt, ast.Block):
+        for child in stmt.statements:
+            names |= _local_names(child)
+    elif isinstance(stmt, ast.If):
+        names |= _local_names(stmt.then_branch)
+        if stmt.else_branch is not None:
+            names |= _local_names(stmt.else_branch)
+    elif isinstance(stmt, ast.While):
+        names |= _local_names(stmt.body)
+    return names
+
+
+def _version_at_least(version: str, minimum: tuple) -> bool:
+    try:
+        parts = tuple(int(part) for part in version.split("."))
+    except ValueError:
+        return False
+    return parts >= minimum

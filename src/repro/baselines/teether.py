@@ -1,0 +1,664 @@
+"""A teEther-like symbolic-execution exploit finder (Krupp & Rossow, USENIX
+Security'18), the paper's completeness comparison point (§6.2).
+
+Design mirrors the original's character:
+
+* **symbolic EVM** — executes bytecode with symbolic calldata words and a
+  symbolic caller; storage starts from a *concrete* snapshot (zeros for a
+  fresh deployment), matching the paper's "we evaluate it purely as a static
+  tool" reading where uninitialized owner variables make exploits valid,
+* **path enumeration** — DFS with per-path step limits and a global budget;
+  exhausting the budget before the search completes is a *timeout*, the
+  failure mode the paper observes on 5/20 contracts,
+* **exploit generation** — on reaching ``SELFDESTRUCT``, the collected path
+  constraints are handed to a small constraint solver; only *solved* paths
+  are reported, which is why teEther's reports are high-confidence but its
+  completeness is low: one transaction, no multi-transaction composite
+  chains, and an incomplete solver,
+* findings: ``accessible-selfdestruct`` (a solvable path reaches
+  SELFDESTRUCT) and ``tainted-selfdestruct`` (the beneficiary expression
+  contains attacker symbols).
+
+The solver intentionally handles only the algebra that single-transaction
+selfdestruct exploits need (equalities, ISZERO/AND towers, SHR-based
+dispatcher selector extraction, simple orderings).  Anything richer makes
+the path unsolved — incompleteness, not unsoundness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.evm.disassembler import disassemble
+from repro.evm.hashing import UINT_MAX, keccak_int
+
+# --------------------------------------------------------------------------
+# Symbolic values
+# --------------------------------------------------------------------------
+
+
+class SymValue:
+    """Base class; concrete values use :class:`Const`."""
+
+    __slots__ = ()
+
+    @property
+    def is_const(self) -> bool:
+        return isinstance(self, Const)
+
+
+class Const(SymValue):
+    """A concrete 256-bit value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value & UINT_MAX
+
+    def __repr__(self) -> str:
+        return "0x%x" % self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Const) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("const", self.value))
+
+
+class Symbol(SymValue):
+    """An attacker-chosen input: a calldata word or the caller address."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Symbol) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("sym", self.name))
+
+
+class Op(SymValue):
+    """An uninterpreted operation over symbolic operands."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, *args: SymValue):
+        self.name = name
+        self.args = args
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (self.name, ", ".join(map(repr, self.args)))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Op)
+            and other.name == self.name
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("op", self.name, self.args))
+
+
+def symbols_in(value: SymValue) -> Set[str]:
+    """Names of all attacker symbols appearing in ``value``."""
+    if isinstance(value, Symbol):
+        return {value.name}
+    if isinstance(value, Op):
+        out: Set[str] = set()
+        for arg in value.args:
+            out |= symbols_in(arg)
+        return out
+    return set()
+
+
+_BINOPS = {
+    "ADD": lambda a, b: (a + b) & UINT_MAX,
+    "MUL": lambda a, b: (a * b) & UINT_MAX,
+    "SUB": lambda a, b: (a - b) & UINT_MAX,
+    "DIV": lambda a, b: 0 if b == 0 else a // b,
+    "MOD": lambda a, b: 0 if b == 0 else a % b,
+    "EXP": lambda a, b: pow(a, b, 1 << 256),
+    "LT": lambda a, b: 1 if a < b else 0,
+    "GT": lambda a, b: 1 if a > b else 0,
+    "EQ": lambda a, b: 1 if a == b else 0,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "SHL": lambda a, b: (b << a) & UINT_MAX if a < 256 else 0,
+    "SHR": lambda a, b: b >> a if a < 256 else 0,
+    "BYTE": lambda a, b: 0 if a >= 32 else (b >> (8 * (31 - a))) & 0xFF,
+}
+
+
+def make_op(name: str, *args: SymValue) -> SymValue:
+    """Build an op node, constant-folding when every operand is concrete."""
+    if name in _BINOPS and len(args) == 2 and all(a.is_const for a in args):
+        return Const(_BINOPS[name](args[0].value, args[1].value))
+    if name == "ISZERO" and args[0].is_const:
+        return Const(1 if args[0].value == 0 else 0)
+    if name == "NOT" and args[0].is_const:
+        return Const(UINT_MAX ^ args[0].value)
+    return Op(name, *args)
+
+
+# --------------------------------------------------------------------------
+# Constraint solving
+# --------------------------------------------------------------------------
+
+
+Assignment = Dict[str, int]
+
+
+def _evaluate(value: SymValue, assignment: Assignment) -> Optional[int]:
+    """Concrete value under ``assignment``; None if symbols remain."""
+    if isinstance(value, Const):
+        return value.value
+    if isinstance(value, Symbol):
+        return assignment.get(value.name)
+    if isinstance(value, Op):
+        if value.name in _BINOPS and len(value.args) == 2:
+            left = _evaluate(value.args[0], assignment)
+            right = _evaluate(value.args[1], assignment)
+            if left is None or right is None:
+                return None
+            return _BINOPS[value.name](left, right)
+        if value.name == "ISZERO":
+            inner = _evaluate(value.args[0], assignment)
+            return None if inner is None else (1 if inner == 0 else 0)
+        if value.name == "NOT":
+            inner = _evaluate(value.args[0], assignment)
+            return None if inner is None else (UINT_MAX ^ inner)
+        if value.name == "SHA3":
+            parts = []
+            for arg in value.args:
+                concrete = _evaluate(arg, assignment)
+                if concrete is None:
+                    return None
+                parts.append(concrete.to_bytes(32, "big"))
+            return keccak_int(b"".join(parts))
+    return None
+
+
+class Solver:
+    """Greedy constraint solver for (expression, wanted-truthy) pairs."""
+
+    def __init__(self, attacker: int = 0xA77AC7E2):
+        self.attacker = attacker
+
+    def solve(self, constraints: Sequence[Tuple[SymValue, bool]]) -> Optional[Assignment]:
+        assignment: Assignment = {"CALLER": self.attacker}
+        pending = list(constraints)
+        for _ in range(len(pending) * 4 + 8):
+            progress = False
+            for expr, wanted in pending:
+                if self._propagate(expr, wanted, assignment):
+                    progress = True
+            if not progress:
+                break
+        # Default remaining symbols to the attacker address (a useful
+        # heuristic: address-typed arguments usually want it).
+        names: Set[str] = set()
+        for expr, _ in pending:
+            names |= symbols_in(expr)
+        for name in names:
+            assignment.setdefault(name, self.attacker)
+        # Final check.
+        for expr, wanted in pending:
+            concrete = _evaluate(expr, assignment)
+            if concrete is None:
+                return None
+            if bool(concrete) != wanted:
+                return None
+        return assignment
+
+    # ------------------------------------------------------------ internal
+
+    def _propagate(self, expr: SymValue, wanted: bool, assignment: Assignment) -> bool:
+        """Try to bind one symbol to satisfy ``expr == wanted``; returns
+        True when a new binding was made."""
+        concrete = _evaluate(expr, assignment)
+        if concrete is not None:
+            return False
+        if isinstance(expr, Symbol):
+            if expr.name not in assignment:
+                assignment[expr.name] = 1 if wanted else 0
+                return True
+            return False
+        if not isinstance(expr, Op):
+            return False
+        if expr.name == "ISZERO":
+            return self._propagate(expr.args[0], not wanted, assignment)
+        if expr.name == "AND" and wanted:
+            changed = False
+            for arg in expr.args:
+                changed |= self._propagate(arg, True, assignment)
+            return changed
+        if expr.name == "OR" and not wanted:
+            changed = False
+            for arg in expr.args:
+                changed |= self._propagate(arg, False, assignment)
+            return changed
+        if expr.name == "OR" and wanted:
+            return self._propagate(expr.args[0], True, assignment)
+        if expr.name == "EQ":
+            return self._solve_equality(expr.args[0], expr.args[1], wanted, assignment)
+        if expr.name in ("LT", "GT"):
+            return self._solve_ordering(expr, wanted, assignment)
+        return False
+
+    def _solve_equality(
+        self, left: SymValue, right: SymValue, wanted: bool, assignment: Assignment
+    ) -> bool:
+        left_value = _evaluate(left, assignment)
+        right_value = _evaluate(right, assignment)
+        if left_value is not None and right_value is None:
+            return self._bind(right, left_value, wanted, assignment)
+        if right_value is not None and left_value is None:
+            return self._bind(left, right_value, wanted, assignment)
+        return False
+
+    def _bind(
+        self, expr: SymValue, target: int, wanted: bool, assignment: Assignment
+    ) -> bool:
+        """Bind symbols inside ``expr`` so it evaluates to ``target`` (or
+        anything else when ``wanted`` is False)."""
+        if isinstance(expr, Symbol):
+            if expr.name in assignment:
+                return False
+            assignment[expr.name] = target if wanted else (target + 1) & UINT_MAX
+            return True
+        if isinstance(expr, Op) and wanted:
+            # Inversion rules for the dispatcher pattern SHR(224, cd0) == sel
+            if expr.name == "SHR" and expr.args[0].is_const:
+                shift = expr.args[0].value
+                return self._bind(expr.args[1], (target << shift) & UINT_MAX, True, assignment)
+            if expr.name == "SHL" and expr.args[0].is_const:
+                shift = expr.args[0].value
+                return self._bind(expr.args[1], target >> shift, True, assignment)
+            if expr.name == "AND" and expr.args[0].is_const:
+                return self._bind(expr.args[1], target, True, assignment)
+            if expr.name == "AND" and expr.args[1].is_const:
+                return self._bind(expr.args[0], target, True, assignment)
+            if expr.name == "ADD" and expr.args[0].is_const:
+                return self._bind(
+                    expr.args[1], (target - expr.args[0].value) & UINT_MAX, True, assignment
+                )
+            if expr.name == "ADD" and expr.args[1].is_const:
+                return self._bind(
+                    expr.args[0], (target - expr.args[1].value) & UINT_MAX, True, assignment
+                )
+        return False
+
+    def _solve_ordering(self, expr: Op, wanted: bool, assignment: Assignment) -> bool:
+        left, right = expr.args
+        left_value = _evaluate(left, assignment)
+        right_value = _evaluate(right, assignment)
+        # One side concrete, other a bare symbol: pick a satisfying value.
+        name = expr.name
+        if left_value is None and isinstance(left, Symbol) and right_value is not None:
+            satisfies_lt = wanted if name == "LT" else not wanted
+            if satisfies_lt:  # need left < right (or !left>right)
+                if right_value == 0:
+                    return False
+                assignment[left.name] = right_value - 1
+            else:
+                assignment[left.name] = right_value
+            return True
+        if right_value is None and isinstance(right, Symbol) and left_value is not None:
+            satisfies_gt = wanted if name == "LT" else not wanted
+            if satisfies_gt:  # need left < right: right > left
+                assignment[right.name] = min(left_value + 1, UINT_MAX)
+            else:
+                assignment[right.name] = left_value
+            return True
+        return False
+
+
+# --------------------------------------------------------------------------
+# Symbolic machine
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _Path:
+    pc: int
+    stack: List[SymValue]
+    memory: Dict[int, SymValue]
+    memory_hazy: bool
+    storage: Dict[int, SymValue]
+    constraints: List[Tuple[SymValue, bool]]
+    steps: int = 0
+
+
+@dataclass
+class TeEtherFinding:
+    kind: str  # "accessible-selfdestruct" | "tainted-selfdestruct"
+    pc: int
+    exploit_calldata_words: Dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class TeEtherResult:
+    findings: List[TeEtherFinding] = field(default_factory=list)
+    timed_out: bool = False
+    error: str = ""
+    paths_explored: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def flagged(self) -> bool:
+        return bool(self.findings)
+
+    def kinds(self) -> Set[str]:
+        return {finding.kind for finding in self.findings}
+
+
+class TeEtherAnalysis:
+    """Symbolically executes runtime bytecode hunting selfdestruct paths."""
+
+    def __init__(
+        self,
+        max_paths: int = 256,
+        max_steps_per_path: int = 3_000,
+        max_total_steps: int = 120_000,
+        timeout_seconds: float = 120.0,
+        attacker: int = 0xA77AC7E2,
+    ):
+        self.max_paths = max_paths
+        self.max_steps_per_path = max_steps_per_path
+        self.max_total_steps = max_total_steps
+        self.timeout_seconds = timeout_seconds
+        self.attacker = attacker
+
+    def analyze(
+        self, runtime_bytecode: bytes, initial_storage: Optional[Dict[int, int]] = None
+    ) -> TeEtherResult:
+        started = time.monotonic()
+        result = TeEtherResult()
+        instructions = {ins.offset: ins for ins in disassemble(runtime_bytecode)}
+        jumpdests = {
+            offset for offset, ins in instructions.items() if ins.name == "JUMPDEST"
+        }
+        storage_init: Dict[int, SymValue] = {
+            slot: Const(value) for slot, value in (initial_storage or {}).items()
+        }
+        solver = Solver(self.attacker)
+
+        worklist: List[_Path] = [
+            _Path(
+                pc=0,
+                stack=[],
+                memory={},
+                memory_hazy=False,
+                storage=dict(storage_init),
+                constraints=[],
+            )
+        ]
+        total_steps = 0
+        reported: Set[Tuple[str, int]] = set()
+
+        while worklist:
+            if (
+                len(result.findings) >= 16
+                or result.paths_explored >= self.max_paths
+                or total_steps >= self.max_total_steps
+                or time.monotonic() - started > self.timeout_seconds
+            ):
+                result.timed_out = bool(worklist)
+                break
+            path = worklist.pop()
+            result.paths_explored += 1
+            self._run_path(
+                path,
+                instructions,
+                jumpdests,
+                worklist,
+                result,
+                solver,
+                reported,
+                storage_init,
+            )
+            total_steps += path.steps
+
+        result.elapsed_seconds = time.monotonic() - started
+        return result
+
+    # ------------------------------------------------------------ stepping
+
+    def _run_path(
+        self,
+        path: _Path,
+        instructions,
+        jumpdests: Set[int],
+        worklist: List[_Path],
+        result: TeEtherResult,
+        solver: Solver,
+        reported: Set[Tuple[str, int]],
+        storage_init: Dict[int, SymValue],
+    ) -> None:
+        stack = path.stack
+
+        def push(value: SymValue) -> None:
+            stack.append(value)
+
+        def pop() -> SymValue:
+            return stack.pop() if stack else Const(0)
+
+        while path.steps < self.max_steps_per_path:
+            path.steps += 1
+            ins = instructions.get(path.pc)
+            if ins is None:
+                return  # ran off the code: implicit stop
+            name = ins.name
+            next_pc = ins.next_offset
+
+            if ins.opcode.is_push:
+                push(Const(ins.operand or 0))
+            elif ins.opcode.is_dup:
+                n = ins.opcode.value - 0x80 + 1
+                if len(stack) < n:
+                    return
+                push(stack[-n])
+            elif ins.opcode.is_swap:
+                n = ins.opcode.value - 0x90 + 1
+                if len(stack) < n + 1:
+                    return
+                stack[-1], stack[-n - 1] = stack[-n - 1], stack[-1]
+            elif name == "POP":
+                pop()
+            elif name == "JUMPDEST":
+                pass
+            elif name in _BINOPS:
+                a, b = pop(), pop()
+                push(make_op(name, a, b))
+            elif name in ("SDIV", "SMOD", "SLT", "SGT", "SIGNEXTEND", "SAR"):
+                a, b = pop(), pop()
+                push(make_op(name, a, b))
+            elif name in ("ADDMOD", "MULMOD"):
+                pop(), pop(), pop()
+                push(Symbol("mod_%d" % path.pc))
+            elif name == "ISZERO":
+                push(make_op("ISZERO", pop()))
+            elif name == "NOT":
+                push(make_op("NOT", pop()))
+            elif name == "CALLER":
+                push(Symbol("CALLER"))
+            elif name == "ORIGIN":
+                push(Symbol("CALLER"))
+            elif name == "CALLVALUE":
+                push(Const(0))  # teEther sends zero-value probe transactions
+            elif name == "CALLDATALOAD":
+                offset = pop()
+                if offset.is_const:
+                    push(Symbol("cd_%d" % offset.value))
+                else:
+                    push(Symbol("cd_dyn_%d" % path.pc))
+            elif name == "CALLDATASIZE":
+                push(Const(4 + 32 * 8))  # enough words for any dispatcher
+            elif name == "ADDRESS":
+                push(Const(0xC0117AC7))
+            elif name in ("BALANCE", "SELFBALANCE"):
+                if name == "BALANCE":
+                    pop()
+                push(Const(10**18))
+            elif name in (
+                "GASPRICE", "COINBASE", "TIMESTAMP", "NUMBER", "DIFFICULTY",
+                "GASLIMIT", "CHAINID", "PC", "MSIZE", "GAS", "RETURNDATASIZE",
+                "CODESIZE",
+            ):
+                push(Const(1))
+            elif name in ("EXTCODESIZE", "EXTCODEHASH", "BLOCKHASH"):
+                pop()
+                push(Const(0))
+            elif name == "MLOAD":
+                offset = pop()
+                if offset.is_const and not path.memory_hazy:
+                    push(path.memory.get(offset.value, Const(0)))
+                elif offset.is_const:
+                    push(path.memory.get(offset.value, Symbol("mem_%d" % path.pc)))
+                else:
+                    push(Symbol("mem_%d" % path.pc))
+            elif name == "MSTORE":
+                offset, value = pop(), pop()
+                if offset.is_const:
+                    path.memory[offset.value] = value
+                else:
+                    path.memory_hazy = True
+            elif name == "MSTORE8":
+                pop(), pop()
+                path.memory_hazy = True
+            elif name in ("CALLDATACOPY", "CODECOPY", "RETURNDATACOPY", "EXTCODECOPY"):
+                count = 4 if name == "EXTCODECOPY" else 3
+                for _ in range(count):
+                    pop()
+                path.memory_hazy = True
+            elif name == "SHA3":
+                offset, size = pop(), pop()
+                if offset.is_const and size.is_const and size.value % 32 == 0:
+                    words = [
+                        path.memory.get(offset.value + 32 * i, Const(0))
+                        for i in range(size.value // 32)
+                    ]
+                    push(make_op("SHA3", *words))
+                else:
+                    push(Symbol("sha_%d" % path.pc))
+            elif name == "SLOAD":
+                key = pop()
+                push(self._storage_read(path, key, storage_init))
+            elif name == "SSTORE":
+                key, value = pop(), pop()
+                path.storage[self._storage_key(key)] = value
+            elif name in ("CALL", "CALLCODE"):
+                for _ in range(7):
+                    pop()
+                push(Const(1))
+                path.memory_hazy = True
+            elif name in ("DELEGATECALL", "STATICCALL"):
+                for _ in range(6):
+                    pop()
+                push(Const(1))
+                path.memory_hazy = True
+            elif name in ("CREATE", "CREATE2"):
+                for _ in range(3 if name == "CREATE" else 4):
+                    pop()
+                push(Const(0))
+            elif name.startswith("LOG"):
+                for _ in range(2 + int(name[3:])):
+                    pop()
+            elif name == "JUMP":
+                target = pop()
+                if not target.is_const or target.value not in jumpdests:
+                    return
+                path.pc = target.value
+                continue
+            elif name == "JUMPI":
+                target, condition = pop(), pop()
+                if not target.is_const or target.value not in jumpdests:
+                    return
+                if condition.is_const:
+                    path.pc = target.value if condition.value else next_pc
+                    continue
+                # Fork: taken branch goes on the worklist, fallthrough here.
+                taken = _Path(
+                    pc=target.value,
+                    stack=list(stack),
+                    memory=dict(path.memory),
+                    memory_hazy=path.memory_hazy,
+                    storage=dict(path.storage),
+                    constraints=path.constraints + [(condition, True)],
+                    steps=path.steps,
+                )
+                worklist.append(taken)
+                path.constraints.append((condition, False))
+                path.pc = next_pc
+                continue
+            elif name in ("STOP", "RETURN", "REVERT", "INVALID") or name.startswith("UNKNOWN"):
+                return
+            elif name == "SELFDESTRUCT":
+                beneficiary = pop()
+                assignment = Solver(self.attacker).solve(path.constraints)
+                if assignment is not None:
+                    key = ("accessible-selfdestruct", ins.offset)
+                    if key not in reported:
+                        reported.add(key)
+                        result.findings.append(
+                            TeEtherFinding(
+                                kind="accessible-selfdestruct",
+                                pc=ins.offset,
+                                exploit_calldata_words=_calldata_words(assignment),
+                            )
+                        )
+                    if symbols_in(beneficiary) & (
+                        {"CALLER"} | {s for s in symbols_in(beneficiary) if s.startswith("cd_")}
+                    ):
+                        tainted_key = ("tainted-selfdestruct", ins.offset)
+                        if tainted_key not in reported:
+                            reported.add(tainted_key)
+                            result.findings.append(
+                                TeEtherFinding(
+                                    kind="tainted-selfdestruct",
+                                    pc=ins.offset,
+                                    exploit_calldata_words=_calldata_words(assignment),
+                                )
+                            )
+                return
+            else:
+                return  # unmodeled opcode: abandon path (incompleteness)
+            path.pc = next_pc
+
+    # ------------------------------------------------------------- storage
+
+    @staticmethod
+    def _storage_key(key: SymValue):
+        return key.value if key.is_const else key
+
+    def _storage_read(
+        self, path: _Path, key: SymValue, storage_init: Dict[int, SymValue]
+    ) -> SymValue:
+        lookup = self._storage_key(key)
+        if isinstance(lookup, int):
+            if lookup in path.storage:
+                return path.storage[lookup]
+            return storage_init.get(lookup, Const(0))
+        # Structural match for symbolic (hash-derived) keys.
+        for existing, value in path.storage.items():
+            if not isinstance(existing, int) and existing == lookup:
+                return value
+        return Const(0)  # untouched mapping element of a fresh contract
+
+
+def _calldata_words(assignment: Assignment) -> Dict[int, int]:
+    words: Dict[int, int] = {}
+    for name, value in assignment.items():
+        if name.startswith("cd_") and not name.startswith("cd_dyn"):
+            words[int(name[3:])] = value
+    return words

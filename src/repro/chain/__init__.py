@@ -1,0 +1,17 @@
+"""Local blockchain simulator: world state, accounts, and transactions.
+
+Stands in for the live Ethereum/Ropsten networks used in the paper's
+Experiment 1.  Provides just enough of a node's behaviour for deployment,
+transaction execution, and trace inspection.
+"""
+
+from repro.chain.state import Account, WorldState
+from repro.chain.blockchain import Blockchain, Receipt, Transaction
+
+__all__ = [
+    "Account",
+    "WorldState",
+    "Blockchain",
+    "Transaction",
+    "Receipt",
+]

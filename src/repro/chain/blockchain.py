@@ -1,0 +1,200 @@
+"""A minimal blockchain node simulator.
+
+Provides the deployment / transaction / read-only-call interface that
+:mod:`repro.kill` (Ethainter-Kill) and the examples use in place of a live
+Ethereum node.  Every transaction executes immediately in its own "block";
+there is no mempool, mining, or fork choice, none of which matter for the
+experiments being reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.chain.state import WorldState
+from repro.evm.machine import CallContext, ExecutionResult, Machine
+
+DEFAULT_GAS = 10_000_000
+
+
+@dataclass
+class Transaction:
+    """One submitted transaction."""
+
+    sender: int
+    to: Optional[int]  # None for contract creation
+    value: int = 0
+    data: bytes = b""
+    gas: int = DEFAULT_GAS
+
+
+@dataclass
+class Receipt:
+    """Outcome of a mined transaction."""
+
+    transaction: Transaction
+    block_number: int
+    success: bool
+    gas_used: int
+    return_data: bytes = b""
+    contract_address: Optional[int] = None
+    error: Optional[str] = None
+    destroyed: Set[int] = field(default_factory=set)
+    result: Optional[ExecutionResult] = None
+
+
+class Blockchain:
+    """World state plus a transaction log, advancing one block per tx."""
+
+    def __init__(self) -> None:
+        self.state = WorldState()
+        self.block_number = 0
+        self.timestamp = 1_600_000_000
+        self.receipts: List[Receipt] = []
+
+    # ------------------------------------------------------------- funding
+
+    def fund(self, address: int, amount: int) -> None:
+        """Credit an externally-owned account (faucet)."""
+        self.state.set_balance(address, self.state.get_balance(address) + amount)
+
+    # ------------------------------------------------------------ mutation
+
+    def deploy(
+        self,
+        sender: int,
+        init_code: bytes,
+        value: int = 0,
+        gas: int = DEFAULT_GAS,
+    ) -> Receipt:
+        """Run ``init_code`` as a creation transaction; store its return value
+        as the new contract's runtime code."""
+        transaction = Transaction(sender=sender, to=None, value=value, data=init_code, gas=gas)
+        return self._mine(transaction)
+
+    def transact(
+        self,
+        sender: int,
+        to: int,
+        data: bytes = b"",
+        value: int = 0,
+        gas: int = DEFAULT_GAS,
+    ) -> Receipt:
+        """Submit a message call transaction."""
+        transaction = Transaction(sender=sender, to=to, value=value, data=data, gas=gas)
+        return self._mine(transaction)
+
+    def call(
+        self,
+        sender: int,
+        to: int,
+        data: bytes = b"",
+        gas: int = DEFAULT_GAS,
+    ) -> ExecutionResult:
+        """Read-only call: executes and then rolls every change back."""
+        snapshot = self.state.snapshot()
+        machine = Machine(self.state, self.block_number + 1, self.timestamp)
+        result = machine.execute(
+            CallContext(
+                address=to,
+                caller=sender,
+                origin=sender,
+                value=0,
+                calldata=data,
+                code=self.state.get_code(to),
+                gas=gas,
+            )
+        )
+        self.state.revert_to(snapshot)
+        return result
+
+    # ------------------------------------------------------------ internals
+
+    def _mine(self, transaction: Transaction) -> Receipt:
+        self.block_number += 1
+        self.timestamp += 13
+        machine = Machine(self.state, self.block_number, self.timestamp)
+
+        if transaction.value:
+            sender_balance = self.state.get_balance(transaction.sender)
+            if sender_balance < transaction.value:
+                receipt = Receipt(
+                    transaction=transaction,
+                    block_number=self.block_number,
+                    success=False,
+                    gas_used=0,
+                    error="insufficient funds",
+                )
+                self.receipts.append(receipt)
+                return receipt
+
+        if transaction.to is None:
+            address = self.state.next_contract_address(
+                transaction.sender, None, transaction.data
+            )
+            self.state.create_account(address)
+            self._transfer(transaction.sender, address, transaction.value)
+            result = machine.execute(
+                CallContext(
+                    address=address,
+                    caller=transaction.sender,
+                    origin=transaction.sender,
+                    value=transaction.value,
+                    calldata=b"",
+                    code=transaction.data,
+                    gas=transaction.gas,
+                )
+            )
+            contract_address: Optional[int] = None
+            if result.success:
+                self.state.set_code(address, result.return_data)
+                contract_address = address
+            elif transaction.value:
+                # Failed creations refund the endowment.
+                self._transfer(address, transaction.sender, transaction.value)
+            receipt = Receipt(
+                transaction=transaction,
+                block_number=self.block_number,
+                success=result.success,
+                gas_used=result.gas_used,
+                return_data=b"",
+                contract_address=contract_address,
+                error=result.error,
+                destroyed=result.destroyed,
+                result=result,
+            )
+        else:
+            self._transfer(transaction.sender, transaction.to, transaction.value)
+            result = machine.execute(
+                CallContext(
+                    address=transaction.to,
+                    caller=transaction.sender,
+                    origin=transaction.sender,
+                    value=transaction.value,
+                    calldata=transaction.data,
+                    code=self.state.get_code(transaction.to),
+                    gas=transaction.gas,
+                )
+            )
+            if not result.success and transaction.value:
+                # Failed calls refund the transferred value.
+                self._transfer(transaction.to, transaction.sender, transaction.value)
+            receipt = Receipt(
+                transaction=transaction,
+                block_number=self.block_number,
+                success=result.success,
+                gas_used=result.gas_used,
+                return_data=result.return_data,
+                error=result.error,
+                destroyed=result.destroyed,
+                result=result,
+            )
+        self.receipts.append(receipt)
+        return receipt
+
+    def _transfer(self, sender: int, recipient: int, amount: int) -> None:
+        if amount == 0:
+            return
+        self.state.set_balance(sender, self.state.get_balance(sender) - amount)
+        self.state.set_balance(recipient, self.state.get_balance(recipient) + amount)

@@ -1,0 +1,145 @@
+"""World state: accounts, balances, code, and storage.
+
+Snapshots are implemented by copy-on-demand deep copies of the account map.
+This is O(state size) per snapshot, which is perfectly adequate for the
+corpus-scale simulations in this reproduction (the paper's node, of course,
+used a Merkle-Patricia trie — irrelevant to the analysis being studied).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.evm.hashing import keccak_int
+
+ADDRESS_MASK = (1 << 160) - 1
+
+
+@dataclass
+class Account:
+    """One account: externally owned if ``code`` is empty, contract otherwise."""
+
+    balance: int = 0
+    nonce: int = 0
+    code: bytes = b""
+    storage: Dict[int, int] = field(default_factory=dict)
+    destroyed: bool = False
+
+
+class WorldState:
+    """Mutable mapping of addresses to accounts, with snapshot/rollback."""
+
+    def __init__(self) -> None:
+        self._accounts: Dict[int, Account] = {}
+        self._snapshots: List[Dict[int, Account]] = []
+
+    # ------------------------------------------------------------- accounts
+
+    def account(self, address: int) -> Account:
+        """The account record at ``address``, creating it if absent."""
+        address &= ADDRESS_MASK
+        if address not in self._accounts:
+            self._accounts[address] = Account()
+        return self._accounts[address]
+
+    def account_exists(self, address: int) -> bool:
+        """Whether an account record exists at ``address``."""
+        return (address & ADDRESS_MASK) in self._accounts
+
+    def create_account(self, address: int, balance: int = 0) -> Account:
+        """Ensure an account exists at ``address``, crediting ``balance``."""
+        account = self.account(address)
+        account.balance += balance
+        return account
+
+    def addresses(self) -> List[int]:
+        """All account addresses currently in the state."""
+        return list(self._accounts)
+
+    # ----------------------------------------------------- backend protocol
+
+    def get_code(self, address: int) -> bytes:
+        """Runtime code (empty for EOAs and destroyed contracts)."""
+        account = self._accounts.get(address & ADDRESS_MASK)
+        if account is None or account.destroyed:
+            return b""
+        return account.code
+
+    def set_code(self, address: int, code: bytes) -> None:
+        """Install runtime code at ``address``."""
+        self.account(address).code = code
+
+    def get_storage(self, address: int, key: int) -> int:
+        """Storage word at ``key`` (0 when unset or destroyed)."""
+        account = self._accounts.get(address & ADDRESS_MASK)
+        if account is None or account.destroyed:
+            return 0
+        return account.storage.get(key, 0)
+
+    def set_storage(self, address: int, key: int, value: int) -> None:
+        """Set a storage word (zero values delete the key)."""
+        storage = self.account(address).storage
+        if value == 0:
+            storage.pop(key, None)
+        else:
+            storage[key] = value
+
+    def get_balance(self, address: int) -> int:
+        """Balance in wei (0 for unknown accounts)."""
+        account = self._accounts.get(address & ADDRESS_MASK)
+        return 0 if account is None else account.balance
+
+    def set_balance(self, address: int, value: int) -> None:
+        """Set the balance in wei."""
+        self.account(address).balance = value
+
+    def mark_destroyed(self, address: int) -> None:
+        """Record a selfdestruct: clears code and storage."""
+        account = self.account(address)
+        account.destroyed = True
+        account.code = b""
+        account.storage = {}
+
+    def is_destroyed(self, address: int) -> bool:
+        """Whether the contract at ``address`` has selfdestructed."""
+        account = self._accounts.get(address & ADDRESS_MASK)
+        return bool(account and account.destroyed)
+
+    def next_contract_address(
+        self, creator: int, salt: Optional[int], init_code: bytes
+    ) -> int:
+        """Deterministic new-contract address (CREATE / CREATE2 flavors)."""
+        nonce = self.account(creator).nonce
+        if salt is None:
+            seed = creator.to_bytes(20, "big") + nonce.to_bytes(8, "big")
+        else:
+            seed = (
+                b"\xff"
+                + creator.to_bytes(20, "big")
+                + salt.to_bytes(32, "big")
+                + init_code
+            )
+        self.account(creator).nonce += 1
+        return keccak_int(seed) & ADDRESS_MASK
+
+    # ------------------------------------------------------------ snapshots
+
+    def snapshot(self) -> int:
+        """Record the current state; returns a token for :meth:`revert_to`."""
+        self._snapshots.append(copy.deepcopy(self._accounts))
+        return len(self._snapshots) - 1
+
+    def revert_to(self, token: int) -> None:
+        """Restore the state recorded at ``token`` and drop later snapshots."""
+        self._accounts = self._snapshots[token]
+        del self._snapshots[token:]
+
+    def commit(self, token: int) -> None:
+        """Drop ``token`` and any later snapshots, keeping current state."""
+        del self._snapshots[token:]
+
+    def discard_snapshots(self) -> None:
+        """Drop every snapshot (keeps the current state)."""
+        self._snapshots.clear()

@@ -1,0 +1,336 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro``.
+
+Commands:
+
+* ``analyze``  — run Ethainter on a contract (MiniSol source or hex bytecode)
+* ``compile``  — compile MiniSol to EVM bytecode
+* ``disasm``   — disassemble hex bytecode
+* ``decompile``— lift hex bytecode to three-address code (``--dot`` for CFG)
+* ``abi``      — print function selectors and event signatures
+* ``corpus``   — generate a labeled synthetic corpus to a directory
+* ``sweep``    — analyze a generated corpus and print/emit statistics
+* ``kill``     — deploy a contract locally and run Ethainter-Kill against it
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.baselines import SecurifyAnalysis, TeEtherAnalysis
+from repro.chain import Blockchain
+from repro.core import AnalysisConfig, analyze_bytecode
+from repro.corpus import generate_corpus
+from repro.decompiler import lift
+from repro.evm.disassembler import format_disassembly
+from repro.kill import EthainterKill
+from repro.minisol import compile_source
+
+
+def _read_bytecode(args: argparse.Namespace) -> bytes:
+    if args.source:
+        text = Path(args.source).read_text()
+        compiled = compile_source(text, args.contract)
+        if isinstance(compiled, dict):
+            raise SystemExit(
+                "multiple contracts in source; pick one with --contract: %s"
+                % ", ".join(compiled)
+            )
+        return compiled.runtime
+    if args.hex:
+        text = Path(args.hex).read_text().strip()
+        if text.startswith("0x"):
+            text = text[2:]
+        return bytes.fromhex(text)
+    raise SystemExit("provide --source FILE or --hex FILE")
+
+
+def _add_input_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--source", help="MiniSol source file")
+    parser.add_argument("--contract", help="contract name within the source")
+    parser.add_argument("--hex", help="hex-encoded runtime bytecode file")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """``repro analyze``: run Ethainter on source or hex bytecode."""
+    runtime = _read_bytecode(args)
+    config = AnalysisConfig(
+        model_guards=not args.no_guards,
+        model_storage_taint=not args.no_storage,
+        conservative_storage=args.conservative_storage,
+        timeout_seconds=args.timeout,
+        engine=args.engine,
+    )
+    result = analyze_bytecode(runtime, config)
+    if args.json:
+        from repro.core.report import ContractReport
+
+        print(
+            ContractReport.from_result(
+                result, name=args.contract or "", bytecode_size=len(runtime)
+            ).to_json()
+        )
+        return 1 if result.warnings else 0
+    if result.error:
+        print("analysis error: %s" % result.error)
+        return 2
+    print(
+        "analyzed %d blocks / %d statements in %.3fs"
+        % (result.block_count, result.statement_count, result.elapsed_seconds)
+    )
+    if not result.warnings:
+        print("no vulnerabilities found")
+        return 0
+    for warning in result.warnings:
+        location = "pc=0x%x" % warning.pc if warning.pc >= 0 else "slot=%s" % warning.slot
+        print("[%s] %s — %s" % (warning.kind, location, warning.detail))
+    if args.explain and result.warnings:
+        from repro.core.bytecode_datalog import analyze_with_datalog, explain_warning
+
+        taint = analyze_with_datalog(
+            facts=result.facts,
+            storage=result.storage,
+            guards=result.guards,
+            options=config.taint_options(),
+            track_provenance=True,
+        )
+        engine = taint.engine  # type: ignore[attr-defined]
+        for warning in result.warnings:
+            print("\nwhy [%s]:" % warning.kind)
+            explanation = explain_warning(engine, warning, taint)
+            print("\n".join("  " + line for line in explanation.splitlines()))
+    if args.compare:
+        securify = SecurifyAnalysis().analyze(runtime)
+        teether = TeEtherAnalysis().analyze(runtime)
+        print(
+            "baselines: securify=%d violation(s), teether=%s"
+            % (len(securify.violations), sorted(teether.kinds()) or "none")
+        )
+    return 1
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """``repro compile``: MiniSol source to runtime bytecode hex."""
+    text = Path(args.file).read_text()
+    compiled = compile_source(text, args.contract)
+    if isinstance(compiled, dict):
+        for name, contract in compiled.items():
+            print("%s: %d bytes runtime" % (name, len(contract.runtime)))
+            print("  runtime: %s" % contract.runtime.hex())
+        return 0
+    print(compiled.runtime.hex())
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    """``repro disasm``: print a bytecode disassembly listing."""
+    runtime = _read_bytecode(args)
+    print(format_disassembly(runtime))
+    return 0
+
+
+def cmd_decompile(args: argparse.Namespace) -> int:
+    """``repro decompile``: lift bytecode to TAC (or a dot CFG)."""
+    runtime = _read_bytecode(args)
+    program = lift(runtime)
+    if args.dot:
+        from repro.ir.dot import to_dot
+
+        print(to_dot(program))
+        return 0
+    print(program)
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """``repro corpus``: write a labeled synthetic corpus to disk."""
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    corpus = generate_corpus(args.size, seed=args.seed)
+    index = []
+    for contract in corpus:
+        stem = "%04d_%s" % (contract.index, contract.name)
+        (out_dir / (stem + ".msol")).write_text(contract.source)
+        (out_dir / (stem + ".hex")).write_text(contract.runtime.hex())
+        index.append(
+            {
+                "index": contract.index,
+                "name": contract.name,
+                "template": contract.template,
+                "labels": sorted(contract.labels),
+                "expected_fp_kinds": sorted(contract.expected_fp_kinds),
+                "exploitable_selfdestruct": contract.exploitable_selfdestruct,
+                "solidity_version": contract.solidity_version,
+                "has_source": contract.has_source,
+                "inline_assembly": contract.inline_assembly,
+                "eth_held": contract.eth_held,
+            }
+        )
+    (out_dir / "index.json").write_text(json.dumps(index, indent=2))
+    print("wrote %d contracts to %s" % (len(corpus), out_dir))
+    return 0
+
+
+def cmd_abi(args: argparse.Namespace) -> int:
+    """``repro abi``: print selectors and event signatures."""
+    text = Path(args.file).read_text()
+    compiled = compile_source(text, args.contract)
+    contracts = compiled if isinstance(compiled, dict) else {compiled.name: compiled}
+    from repro.evm.hashing import function_selector
+
+    for name, contract in contracts.items():
+        print("contract %s" % name)
+        for fn in contract.public_functions:
+            print("  0x%08x  %s" % (function_selector(fn.signature), fn.signature))
+        for event in contract.ast.events:
+            print("  event     %s" % event.signature)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: corpus-wide statistics (and optional JSON)."""
+    from pathlib import Path as _Path
+
+    from repro.core.report import ContractReport, SweepReport
+
+    corpus = generate_corpus(args.size, seed=args.seed)
+    sweep = SweepReport()
+    for contract in corpus:
+        result = analyze_bytecode(contract.runtime)
+        sweep.add(
+            ContractReport.from_result(
+                result, name=contract.name, bytecode_size=len(contract.runtime)
+            )
+        )
+    summary = sweep.summary()
+    print("analyzed %d contracts (%d flagged, %d errors)" % (
+        summary["analyzed"], summary["flagged"], summary["errors"]))
+    print("flag rate: %.2f%%  avg time: %.1f ms" % (
+        100 * summary["flag_rate"], 1000 * summary["avg_elapsed_seconds"]))
+    for kind, count in summary["kind_counts"].items():
+        print("  %-32s %d" % (kind, count))
+    if args.json:
+        _Path(args.json).write_text(sweep.to_json())
+        print("full report written to %s" % args.json)
+    return 0
+
+
+def cmd_kill(args: argparse.Namespace) -> int:
+    """``repro kill``: deploy locally and run Ethainter-Kill."""
+    text = Path(args.source).read_text()
+    compiled = compile_source(text, args.contract)
+    if isinstance(compiled, dict):
+        raise SystemExit("multiple contracts; pick one with --contract")
+    chain = Blockchain()
+    deployer = 0xDE9107E2
+    chain.fund(deployer, 10**20)
+    receipt = chain.deploy(deployer, compiled.init, value=args.value)
+    if not receipt.success:
+        print("deployment failed: %s" % receipt.error)
+        return 2
+    address = receipt.contract_address
+    print("deployed %s at 0x%040x with %d wei" % (compiled.name, address, args.value))
+    result = analyze_bytecode(compiled.runtime)
+    print("ethainter warnings: %s" % sorted({w.kind for w in result.warnings}))
+    killer = EthainterKill(chain)
+    outcome = killer.attack(address, result)
+    if outcome.destroyed:
+        print(
+            "DESTROYED in %d transaction(s); plan: %s"
+            % (
+                outcome.transactions_sent,
+                " -> ".join("0x%08x" % call.selector for call in outcome.plan),
+            )
+        )
+        return 1
+    print("not destroyed: %s" % (outcome.reason or "exploit failed"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ethainter reproduction: composite smart-contract vulnerability analysis",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    analyze = commands.add_parser("analyze", help="run the Ethainter analysis")
+    _add_input_args(analyze)
+    analyze.add_argument("--no-guards", action="store_true", help="Fig. 8b ablation")
+    analyze.add_argument("--no-storage", action="store_true", help="Fig. 8a ablation")
+    analyze.add_argument(
+        "--conservative-storage", action="store_true", help="Fig. 8c ablation"
+    )
+    analyze.add_argument("--timeout", type=float, default=120.0)
+    analyze.add_argument(
+        "--engine",
+        choices=["python", "datalog"],
+        default="python",
+        help="fixpoint engine (datalog = the declarative rules, slower)",
+    )
+    analyze.add_argument(
+        "--compare", action="store_true", help="also run Securify/teEther baselines"
+    )
+    analyze.add_argument("--json", action="store_true", help="emit a JSON report")
+    analyze.add_argument(
+        "--explain",
+        action="store_true",
+        help="print Datalog derivation trees for each warning",
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    abi = commands.add_parser("abi", help="print selectors and event signatures")
+    abi.add_argument("file")
+    abi.add_argument("--contract")
+    abi.set_defaults(func=cmd_abi)
+
+    sweep = commands.add_parser(
+        "sweep", help="analyze a generated corpus and print/emit statistics"
+    )
+    sweep.add_argument("--size", type=int, default=100)
+    sweep.add_argument("--seed", type=int, default=2020)
+    sweep.add_argument("--json", help="write the full JSON report to this file")
+    sweep.set_defaults(func=cmd_sweep)
+
+    compile_cmd = commands.add_parser("compile", help="compile MiniSol source")
+    compile_cmd.add_argument("file")
+    compile_cmd.add_argument("--contract")
+    compile_cmd.set_defaults(func=cmd_compile)
+
+    disasm = commands.add_parser("disasm", help="disassemble bytecode")
+    _add_input_args(disasm)
+    disasm.set_defaults(func=cmd_disasm)
+
+    decompile = commands.add_parser("decompile", help="lift bytecode to TAC")
+    _add_input_args(decompile)
+    decompile.add_argument(
+        "--dot", action="store_true", help="emit a Graphviz CFG instead of TAC text"
+    )
+    decompile.set_defaults(func=cmd_decompile)
+
+    corpus = commands.add_parser("corpus", help="generate a labeled corpus")
+    corpus.add_argument("--size", type=int, default=100)
+    corpus.add_argument("--seed", type=int, default=2020)
+    corpus.add_argument("--out", default="corpus-out")
+    corpus.set_defaults(func=cmd_corpus)
+
+    kill = commands.add_parser("kill", help="deploy locally and attack")
+    kill.add_argument("source")
+    kill.add_argument("--contract")
+    kill.add_argument("--value", type=int, default=10**18)
+    kill.set_defaults(func=cmd_kill)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,276 @@
+"""Direct fixpoint implementation of the paper's inference rules (Figs. 2–4).
+
+Computes, over an :class:`~repro.core.lang.AbstractProgram`:
+
+* auxiliary (pre-stratum) relations — ``ConstValue`` (``C(x) = v``),
+  ``StorageAliasVar`` (``x ~ S(v)``), ``DS``/``DSA`` (Figure 4),
+* output relations, in mutual recursion (Figure 3) —
+  ``InputTaintedVar`` (``↓I x``), ``StorageTaintedVar`` (``↓T x``),
+  ``TaintedStorage`` (``↓T S(v)``), ``NonSanitizingGuard`` (``↛ p``),
+* ``violations`` — SINK statements reached by either taint flavor,
+* ``computed_sinks`` — §4.5: storage-aliasing variables used in sender
+  guards of tainted values ("tainted owner variable" sinks).
+
+One deliberate extension, documented in DESIGN.md: taint propagates through
+``HASH`` like through ``OP`` (Figure 3 elides hash taint, but without it a
+tainted mapping key could never taint the derived storage address used by
+rule StorageWrite-2).
+
+The same rules exist as Datalog in :mod:`repro.core.datalog_rules`; the test
+suite checks both implementations derive identical relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.lang import (
+    AbstractProgram,
+    Const,
+    Guard,
+    Hash,
+    Input,
+    Op,
+    SENDER,
+    SLoad,
+    SStore,
+    Sink,
+)
+
+
+@dataclass
+class AbstractResult:
+    """All relations of Figure 2."""
+
+    input_tainted: Set[str] = field(default_factory=set)  # ↓I x
+    storage_tainted: Set[str] = field(default_factory=set)  # ↓T x
+    tainted_storage: Set[int] = field(default_factory=set)  # ↓T S(v)
+    non_sanitizing: Set[str] = field(default_factory=set)  # ↛ p
+    const_value: Dict[str, int] = field(default_factory=dict)  # C(x) = v
+    storage_alias: Dict[str, Set[int]] = field(default_factory=dict)  # x ~ S(v)
+    ds: Set[str] = field(default_factory=set)  # DS(x)
+    dsa: Set[str] = field(default_factory=set)  # DSA(x)
+    violations: Set[str] = field(default_factory=set)  # sink variables
+    computed_sinks: Set[int] = field(default_factory=set)  # §4.5 slots
+
+    def tainted(self, variable: str) -> bool:
+        return variable in self.input_tainted or variable in self.storage_tainted
+
+
+def analyze_abstract(program: AbstractProgram) -> AbstractResult:
+    """Run the Figure 2-4 relations to fixpoint over ``program``."""
+    result = AbstractResult()
+    instructions = program.instructions
+
+    # ------------------------------------------------------- pre-stratum
+    # ConstValue: direct constants only (the paper's C is a conventional
+    # value-flow analysis; in the abstract language constants come from
+    # CONST instructions and copies through unary OP).  Computed as a
+    # lattice with a bottom element so conflicting definitions (a variable
+    # assigned two different constants — legal in non-SSA inputs) converge
+    # to "not a constant" instead of oscillating.
+    _BOTTOM = object()
+    lattice: Dict[str, object] = {}
+
+    def merge_const(variable: str, value: int) -> bool:
+        current = lattice.get(variable)
+        if current is None:
+            lattice[variable] = value
+            return True
+        if current is _BOTTOM or current == value:
+            return False
+        lattice[variable] = _BOTTOM
+        return True
+
+    changed = True
+    while changed:
+        changed = False
+        for ins in instructions:
+            if isinstance(ins, Const):
+                changed |= merge_const(ins.x, ins.value)
+            # Unary OP copies propagate constants (a modest value-flow).
+            elif isinstance(ins, Op) and ins.z is None and ins.op == "OP":
+                source = lattice.get(ins.y)
+                if source is _BOTTOM:
+                    if lattice.get(ins.x) is not _BOTTOM:
+                        lattice[ins.x] = _BOTTOM
+                        changed = True
+                elif source is not None:
+                    changed |= merge_const(ins.x, source)
+    result.const_value = {
+        variable: value
+        for variable, value in lattice.items()
+        if value is not _BOTTOM
+    }
+
+    # StorageAliasVar: x ~ S(v) when x := SLOAD(f) with C(f) = v, extended
+    # through unary copies.
+    changed = True
+    while changed:
+        changed = False
+        for ins in instructions:
+            if isinstance(ins, SLoad):
+                slot = result.const_value.get(ins.f)
+                if slot is not None:
+                    aliases = result.storage_alias.setdefault(ins.t, set())
+                    if slot not in aliases:
+                        aliases.add(slot)
+                        changed = True
+            if isinstance(ins, Op) and ins.z is None and ins.op == "OP":
+                source = result.storage_alias.get(ins.y)
+                if source:
+                    target = result.storage_alias.setdefault(ins.x, set())
+                    before = len(target)
+                    target.update(source)
+                    if len(target) != before:
+                        changed = True
+
+    # DS/DSA (Figure 4).
+    result.ds.add(SENDER)
+    changed = True
+    while changed:
+        changed = False
+        for ins in instructions:
+            if isinstance(ins, Hash):
+                # DS-Lookup / DSA-Lookup
+                if (ins.y in result.ds or ins.y in result.dsa) and ins.x not in result.dsa:
+                    result.dsa.add(ins.x)
+                    changed = True
+            elif isinstance(ins, Op):
+                # DS-AddrOp-1 / DS-AddrOp-2
+                operands = [ins.y] + ([ins.z] if ins.z is not None else [])
+                if any(op in result.dsa for op in operands) and ins.x not in result.dsa:
+                    result.dsa.add(ins.x)
+                    changed = True
+            elif isinstance(ins, SLoad):
+                # DSA-Load
+                if ins.f in result.dsa and ins.t not in result.ds:
+                    result.ds.add(ins.t)
+                    changed = True
+
+    # Universe for StorageWrite-2: every constant-valued storage address
+    # "arising in the analysis".
+    known_slots: Set[int] = set()
+    for ins in instructions:
+        if isinstance(ins, (SStore, SLoad)):
+            address = ins.t if isinstance(ins, SStore) else ins.f
+            slot = result.const_value.get(address)
+            if slot is not None:
+                known_slots.add(slot)
+
+    # ------------------------------------------------ main mutual fixpoint
+
+    def tainted_any(variable: str) -> bool:
+        return variable in result.input_tainted or variable in result.storage_tainted
+
+    changed = True
+    while changed:
+        changed = False
+        for ins in instructions:
+            if isinstance(ins, Input):
+                # LoadInput
+                if ins.x not in result.input_tainted:
+                    result.input_tainted.add(ins.x)
+                    changed = True
+            elif isinstance(ins, Op):
+                # Operation-1 / Operation-2 (flavor-preserving)
+                operands = [ins.y] + ([ins.z] if ins.z is not None else [])
+                if any(op in result.input_tainted for op in operands):
+                    if ins.x not in result.input_tainted:
+                        result.input_tainted.add(ins.x)
+                        changed = True
+                if any(op in result.storage_tainted for op in operands):
+                    if ins.x not in result.storage_tainted:
+                        result.storage_tainted.add(ins.x)
+                        changed = True
+            elif isinstance(ins, Hash):
+                # Extension: HASH propagates taint like a unary OP.
+                if ins.y in result.input_tainted and ins.x not in result.input_tainted:
+                    result.input_tainted.add(ins.x)
+                    changed = True
+                if ins.y in result.storage_tainted and ins.x not in result.storage_tainted:
+                    result.storage_tainted.add(ins.x)
+                    changed = True
+            elif isinstance(ins, Guard):
+                # Guard-1: storage taint passes guards unconditionally.
+                if ins.y in result.storage_tainted and ins.x not in result.storage_tainted:
+                    result.storage_tainted.add(ins.x)
+                    changed = True
+                # Guard-2: input taint passes only non-sanitizing guards.
+                if (
+                    ins.y in result.input_tainted
+                    and ins.p in result.non_sanitizing
+                    and ins.x not in result.input_tainted
+                ):
+                    result.input_tainted.add(ins.x)
+                    changed = True
+            elif isinstance(ins, SStore):
+                if tainted_any(ins.f):
+                    slot = result.const_value.get(ins.t)
+                    if slot is not None:
+                        # StorageWrite-1
+                        if slot not in result.tainted_storage:
+                            result.tainted_storage.add(slot)
+                            changed = True
+                    elif tainted_any(ins.t):
+                        # StorageWrite-2: address and value both tainted.
+                        for any_slot in known_slots:
+                            if any_slot not in result.tainted_storage:
+                                result.tainted_storage.add(any_slot)
+                                changed = True
+            elif isinstance(ins, SLoad):
+                # StorageLoad
+                slot = result.const_value.get(ins.f)
+                if (
+                    slot is not None
+                    and slot in result.tainted_storage
+                    and ins.t not in result.storage_tainted
+                ):
+                    result.storage_tainted.add(ins.t)
+                    changed = True
+            elif isinstance(ins, Sink):
+                # Violation
+                if tainted_any(ins.x) and ins.x not in result.violations:
+                    result.violations.add(ins.x)
+                    changed = True
+
+        # Uguard-T: p := (sender = z), z ~ S(v), ↓T S(v)  =>  ↛ p
+        for ins in instructions:
+            if isinstance(ins, Op) and ins.is_equality:
+                operands = (ins.y, ins.z)
+                if SENDER in operands:
+                    other = ins.z if ins.y == SENDER else ins.y
+                    if other is not None:
+                        for slot in result.storage_alias.get(other, ()):
+                            if slot in result.tainted_storage:
+                                if ins.x not in result.non_sanitizing:
+                                    result.non_sanitizing.add(ins.x)
+                                    changed = True
+                # Uguard-NDS: p := (y = z), !DS(y), !DS(z)  =>  ↛ p
+                if (
+                    ins.z is not None
+                    and ins.y not in result.ds
+                    and ins.z not in result.ds
+                    and ins.x not in result.non_sanitizing
+                ):
+                    result.non_sanitizing.add(ins.x)
+                    changed = True
+
+    # ---------------------------------------------- computed sinks (§4.5)
+    # *:= GUARD(sender = z, x), ↓I/T x, z ~ S(v)  =>  SINK slot v.
+    equality_defs: Dict[str, Op] = {
+        ins.x: ins for ins in instructions if isinstance(ins, Op) and ins.is_equality
+    }
+    for ins in instructions:
+        if not isinstance(ins, Guard):
+            continue
+        predicate = equality_defs.get(ins.p)
+        if predicate is None or SENDER not in (predicate.y, predicate.z):
+            continue
+        other = predicate.z if predicate.y == SENDER else predicate.y
+        if other is None or not tainted_any(ins.y):
+            continue
+        result.computed_sinks.update(result.storage_alias.get(other, ()))
+
+    return result

@@ -1,0 +1,185 @@
+"""The Ethainter analysis pipeline.
+
+:class:`EthainterAnalysis` ties the stages together:
+
+    bytecode --lift--> TAC --extract--> facts --static strata--> storage/guard
+    models --fixpoint--> taint --detect--> findings
+
+with a per-contract wall-clock budget (the paper uses a combined 120 s
+decompile+analyze cutoff; §6) and the Figure 8 ablation switches on
+:class:`AnalysisConfig`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.facts import ContractFacts, extract_facts
+from repro.core.guards import GuardModel, build_guard_model
+from repro.core.storage_model import StorageModel, build_storage_model
+from repro.core.taint import TaintAnalysis, TaintOptions, TaintResult
+from repro.core.vulnerabilities import Finding, VULNERABILITY_KINDS, detect
+from repro.decompiler import LiftError, lift
+from repro.ir.tac import TACProgram
+
+
+@dataclass
+class AnalysisConfig:
+    """Analysis switches; defaults reproduce the paper's tuned design.
+
+    The three ablation flags correspond to Figure 8:
+
+    * ``model_storage_taint=False`` — 8a "No Storage Modeling" (completeness
+      drops: composite, multi-transaction chains are lost),
+    * ``model_guards=False`` — 8b "No Guard Modeling" (precision collapses:
+      every owner-guarded operation looks attacker-reachable),
+    * ``conservative_storage=True`` — 8c "Conservative Storage Modeling"
+      (precision drops: unknown-address stores smear taint over all slots).
+    """
+
+    model_guards: bool = True
+    model_storage_taint: bool = True
+    conservative_storage: bool = False
+    timeout_seconds: float = 120.0
+    max_lift_states: int = 20_000
+    # Which fixpoint engine runs the taint rules: the tuned Python fixpoint
+    # (default) or the declarative Datalog rules (paper-faithful; slower;
+    # cross-checked equal in the test suite).  The Datalog path does not
+    # reconstruct per-variable witnesses, so warning detail text is terser.
+    engine: str = "python"  # "python" | "datalog"
+
+    def taint_options(self) -> TaintOptions:
+        return TaintOptions(
+            model_guards=self.model_guards,
+            model_storage_taint=self.model_storage_taint,
+            conservative_storage=self.conservative_storage,
+        )
+
+
+@dataclass
+class Warning:
+    """User-facing warning: a finding plus contract context."""
+
+    kind: str
+    pc: int
+    statement: str
+    detail: str
+    slot: Optional[int] = None
+
+    @classmethod
+    def from_finding(cls, finding: Finding) -> "Warning":
+        return cls(
+            kind=finding.kind,
+            pc=finding.pc,
+            statement=finding.statement,
+            detail=finding.detail,
+            slot=finding.slot,
+        )
+
+
+@dataclass
+class AnalysisResult:
+    """Everything produced for one contract."""
+
+    warnings: List[Warning] = field(default_factory=list)
+    error: Optional[str] = None  # "timeout" | "lift-error: ..." | None
+    elapsed_seconds: float = 0.0
+    block_count: int = 0
+    statement_count: int = 0
+    taint: Optional[TaintResult] = None
+    facts: Optional[ContractFacts] = None
+    guards: Optional[GuardModel] = None
+    storage: Optional[StorageModel] = None
+    program: Optional[TACProgram] = None
+
+    @property
+    def timed_out(self) -> bool:
+        return self.error == "timeout"
+
+    @property
+    def flagged(self) -> bool:
+        return bool(self.warnings)
+
+    def kinds(self) -> Dict[str, int]:
+        counts = {kind: 0 for kind in VULNERABILITY_KINDS}
+        for warning in self.warnings:
+            counts[warning.kind] = counts.get(warning.kind, 0) + 1
+        return counts
+
+    def has(self, kind: str) -> bool:
+        return any(warning.kind == kind for warning in self.warnings)
+
+
+class EthainterAnalysis:
+    """Analyzes one contract's runtime bytecode."""
+
+    def __init__(self, config: Optional[AnalysisConfig] = None):
+        self.config = config or AnalysisConfig()
+
+    def analyze(self, runtime_bytecode: bytes) -> AnalysisResult:
+        """Run the full pipeline (lift, model, fixpoint, detect)."""
+        started = time.monotonic()
+        result = AnalysisResult()
+        deadline = started + self.config.timeout_seconds
+
+        def out_of_time() -> bool:
+            return time.monotonic() > deadline
+
+        try:
+            program = lift(runtime_bytecode, max_states=self.config.max_lift_states)
+        except LiftError as error:
+            result.error = "lift-error: %s" % error
+            result.elapsed_seconds = time.monotonic() - started
+            return result
+
+        result.program = program
+        result.block_count = len(program.blocks)
+        result.statement_count = sum(
+            len(block.statements) for block in program.blocks.values()
+        )
+        if out_of_time():
+            result.error = "timeout"
+            result.elapsed_seconds = time.monotonic() - started
+            return result
+
+        facts = extract_facts(program)
+        storage = build_storage_model(facts)
+        guards = build_guard_model(facts, storage)
+        if out_of_time():
+            result.error = "timeout"
+            result.elapsed_seconds = time.monotonic() - started
+            return result
+
+        if self.config.engine == "datalog":
+            from repro.core.bytecode_datalog import analyze_with_datalog
+
+            taint = analyze_with_datalog(
+                facts=facts,
+                storage=storage,
+                guards=guards,
+                options=self.config.taint_options(),
+            )
+        else:
+            taint = TaintAnalysis(
+                facts, storage, guards, self.config.taint_options()
+            ).run()
+        findings = detect(facts, storage, guards, taint)
+
+        result.facts = facts
+        result.storage = storage
+        result.guards = guards
+        result.taint = taint
+        result.warnings = [Warning.from_finding(finding) for finding in findings]
+        result.elapsed_seconds = time.monotonic() - started
+        if out_of_time():
+            result.error = "timeout"
+        return result
+
+
+def analyze_bytecode(
+    runtime_bytecode: bytes, config: Optional[AnalysisConfig] = None
+) -> AnalysisResult:
+    """One-shot convenience wrapper around :class:`EthainterAnalysis`."""
+    return EthainterAnalysis(config).analyze(runtime_bytecode)

@@ -1,0 +1,296 @@
+"""The bytecode-level Ethainter analysis as Datalog rules (paper §5).
+
+The paper's implementation is "several hundred declarative rules in the
+Datalog language" executed by Soufflé.  :mod:`repro.core.taint` implements
+the same logic as a hand-written Python fixpoint (the fast path used by the
+benchmarks); this module states the rules declaratively on
+:mod:`repro.datalog` — the Figure 5 skeleton, elaborated with the two taint
+flavors and the guard-compromise machinery — and runs them on the engine.
+
+``analyze_with_datalog`` produces a :class:`~repro.core.taint.TaintResult`
+from the Datalog fixpoint; the test suite checks it coincides with the
+Python fixpoint over the whole corpus and under every ablation.
+
+Rule inventory (relations named after Figure 5 where they exist there):
+
+EDB (extracted facts):
+    Stmt(s)                       every TAC statement
+    Infoflow(x, y, s)             one-step flow x -> y at statement s
+    CALLDATALOAD(s, x)            taint source (Fig. 5 verbatim)
+    StaticallyGuardedStatement(s, g)
+    GuardComparesSlot(g, v)       EQ_SENDER guard g compares slot v
+    GuardComparesVar(g, x)        ... and the compared variable
+    GuardDsBase(g, x)             DS_LOOKUP guard's condition variable
+    GuardDsMapping(g, b)          DS_LOOKUP guard's root mapping slot
+    SStoreConst(s, v, x)          store x to constant slot v
+    SStoreUnknown(s, a, x)        store through non-constant address a
+    MappingStore(s, b, k)         store resolved to mapping b with key k
+    SenderKey(k)                  k is sender-derived (DS)
+    MappingConfined(a)            address a resolves to a mapping element
+    SLoadConst(s, v, x)           load constant slot v into x
+    KnownSlot(v)                  constant slots arising in the analysis
+
+IDB:
+    ReachableByAttacker(s), Guarded(s) [projection for negation],
+    InputTaint(x), StorageTaint(x), TaintedStorage(v),
+    WritableMapping(b), CompromisedGuard(g)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.facts import ContractFacts, extract_facts
+from repro.core.guards import DS_LOOKUP, EQ_SENDER, GuardModel, build_guard_model
+from repro.core.storage_model import StorageModel, build_storage_model, memory_var
+from repro.core.taint import TaintOptions, TaintResult
+from repro.datalog import Database, Engine, parse_program
+from repro.decompiler import lift
+
+# --------------------------------------------------------------------- rules
+
+# Core mutual recursion (Fig. 5), flavored per the formal model (Fig. 3).
+CORE_RULES = r"""
+Guarded(s) :- StaticallyGuardedStatement(s, g).
+
+// s is reachable if not guarded (Fig. 5) ...
+ReachableByAttacker(s) :- Stmt(s), !Guarded(s).
+// ... or if (any of) its guard(s) is compromised — tainted or bypassable.
+ReachableByAttacker(s) :- StaticallyGuardedStatement(s, g), CompromisedGuard(g).
+
+// Taint introduction: attacker calldata at attacker-executable statements.
+InputTaint(x) :- CALLDATALOAD(s, x), ReachableByAttacker(s).
+
+// Input taint propagates only through attacker-executable statements
+// (Guard-2: the attacker's transaction reverts at an effective guard).
+InputTaint(y) :- Infoflow(x, y, s), InputTaint(x), ReachableByAttacker(s).
+
+// Storage taint propagates through every statement (Guard-1: the
+// privileged caller executes guarded code over poisoned state).
+StorageTaint(y) :- Infoflow(x, y, s), StorageTaint(x).
+
+// StorageWrite-1: a tainted value stored to a constant slot.
+TaintedStorage(v) :- SStoreConst(s, v, x), StorageTaint(x).
+TaintedStorage(v) :- SStoreConst(s, v, x), InputTaint(x), ReachableByAttacker(s).
+
+// StorageLoad: loads from tainted slots carry storage taint anywhere.
+StorageTaint(x) :- SLoadConst(s, v, x), TaintedStorage(v).
+
+// Guard compromise: Uguard-T (sender compared against a tainted slot) ...
+CompromisedGuard(g) :- GuardComparesSlot(g, v), TaintedStorage(v).
+CompromisedGuard(g) :- GuardComparesVar(g, x), InputTaint(x).
+CompromisedGuard(g) :- GuardComparesVar(g, x), StorageTaint(x).
+// ... or a sender-keyed lookup into an attacker-writable mapping.
+CompromisedGuard(g) :- GuardDsMapping(g, b), WritableMapping(b).
+CompromisedGuard(g) :- GuardDsBase(g, x), InputTaint(x).
+CompromisedGuard(g) :- GuardDsBase(g, x), StorageTaint(x).
+
+// A mapping is attacker-writable if a reachable store targets one of its
+// elements with a key the attacker chooses (tainted) or is (the sender).
+WritableMapping(b) :- MappingStore(s, b, k), StorageTaint(k), ReachableByAttacker(s).
+WritableMapping(b) :- MappingStore(s, b, k), InputTaint(k), ReachableByAttacker(s).
+WritableMapping(b) :- MappingStore(s, b, k), SenderKey(k), ReachableByAttacker(s).
+"""
+
+# StorageWrite-2 (the over-approximation): value- and address-tainted store
+# through an address NOT confined to a mapping taints every known slot.
+# Four flavor combinations, input flavors requiring reachability.
+WRITE2_RULES = r"""
+TaintedStorage(v) :- SStoreUnknown(s, a, x), StorageTaint(x), StorageTaint(a),
+                     !MappingConfined(a), KnownSlot(v).
+TaintedStorage(v) :- SStoreUnknown(s, a, x), StorageTaint(x), InputTaint(a),
+                     ReachableByAttacker(s), !MappingConfined(a), KnownSlot(v).
+TaintedStorage(v) :- SStoreUnknown(s, a, x), InputTaint(x), StorageTaint(a),
+                     ReachableByAttacker(s), !MappingConfined(a), KnownSlot(v).
+TaintedStorage(v) :- SStoreUnknown(s, a, x), InputTaint(x), InputTaint(a),
+                     ReachableByAttacker(s), !MappingConfined(a), KnownSlot(v).
+"""
+
+# Conservative storage modeling (Fig. 8c): any tainted store through an
+# unknown address smears over all known slots, and unknown-address loads
+# pick up taint whenever anything tainted was stored anywhere.
+CONSERVATIVE_RULES = r"""
+AnyTaintedStore() :- SStoreUnknown(s, a, x), StorageTaint(x).
+AnyTaintedStore() :- SStoreUnknown(s, a, x), InputTaint(x), ReachableByAttacker(s).
+TaintedStorage(v) :- AnyTaintedStore(), KnownSlot(v).
+AnySlotTainted() :- TaintedStorage(v).
+StorageTaint(x) :- SLoadUnknown(s, a, x), AnyTaintedStore().
+StorageTaint(x) :- SLoadUnknown(s, a, x), AnySlotTainted().
+"""
+
+
+def _facts_to_database(
+    facts: ContractFacts,
+    storage: StorageModel,
+    guards: GuardModel,
+    options: TaintOptions,
+) -> Database:
+    database = Database()
+
+    for stmt in facts.program.statements():
+        database.add("Stmt", (stmt.ident,))
+
+    # One-step flows, including the constant-address memory model.
+    for source, dest, stmt in facts.flow_edges:
+        database.add("Infoflow", (source, dest, stmt.ident))
+    for write in facts.memory_writes:
+        database.add(
+            "Infoflow", (write.var, memory_var(write.address), write.statement.ident)
+        )
+    for read in facts.memory_reads:
+        database.add(
+            "Infoflow", (memory_var(read.address), read.var, read.statement.ident)
+        )
+
+    for variable, stmt in facts.calldata_defs:
+        database.add("CALLDATALOAD", (stmt.ident, variable))
+
+    if options.model_guards:
+        for statement_id, guard_ids in guards.guarded_statements.items():
+            for guard_id in guard_ids:
+                database.add("StaticallyGuardedStatement", (statement_id, guard_id))
+        for guard in guards.guards:
+            if guard.kind == EQ_SENDER:
+                for slot in guard.compared_slots:
+                    database.add("GuardComparesSlot", (guard.ident, slot))
+                if guard.compared_var is not None:
+                    database.add("GuardComparesVar", (guard.ident, guard.compared_var))
+            elif guard.kind == DS_LOOKUP:
+                database.add("GuardDsBase", (guard.ident, guard.base_var))
+                if guard.mapping_slot is not None:
+                    database.add("GuardDsMapping", (guard.ident, guard.mapping_slot))
+
+    if options.model_storage_taint:
+        known_slots = facts.known_slots
+        for slot in known_slots:
+            database.add("KnownSlot", (slot,))
+        for store in facts.storage_stores:
+            if store.const_slot is not None:
+                database.add(
+                    "SStoreConst",
+                    (store.statement.ident, store.const_slot, store.value_var),
+                )
+                continue
+            database.add(
+                "SStoreUnknown",
+                (store.statement.ident, store.address_var, store.value_var),
+            )
+            for address_source in storage.copy_sources.get(
+                store.address_var, {store.address_var}
+            ):
+                access = storage.mapping_accesses.get(address_source)
+                if access is not None:
+                    database.add(
+                        "MappingStore",
+                        (store.statement.ident, access.base_slot, access.key_var),
+                    )
+        for load in facts.storage_loads:
+            if load.def_var is None:
+                continue
+            if load.const_slot is not None:
+                database.add(
+                    "SLoadConst", (load.statement.ident, load.const_slot, load.def_var)
+                )
+            else:
+                database.add(
+                    "SLoadUnknown",
+                    (load.statement.ident, load.address_var, load.def_var),
+                )
+        for variable in storage.copy_sources:
+            if any(
+                source in storage.mapping_accesses
+                for source in storage.copy_sources[variable]
+            ):
+                database.add("MappingConfined", (variable,))
+        for variable in storage.mapping_accesses:
+            database.add("MappingConfined", (variable,))
+        for variable in storage.ds_vars:
+            database.add("SenderKey", (variable,))
+    return database
+
+
+def _rules(options: TaintOptions):
+    text = CORE_RULES
+    if options.model_storage_taint:
+        text += WRITE2_RULES
+        if options.conservative_storage:
+            text += CONSERVATIVE_RULES
+    return parse_program(text).rules
+
+
+def analyze_with_datalog(
+    runtime_bytecode: Optional[bytes] = None,
+    facts: Optional[ContractFacts] = None,
+    storage: Optional[StorageModel] = None,
+    guards: Optional[GuardModel] = None,
+    options: Optional[TaintOptions] = None,
+    track_provenance: bool = False,
+) -> TaintResult:
+    """Run the declarative bytecode analysis.
+
+    Either pass raw ``runtime_bytecode`` or pre-extracted
+    ``facts``/``storage``/``guards`` (as produced by the standard pipeline).
+    Returns a :class:`TaintResult` comparable to
+    :meth:`repro.core.taint.TaintAnalysis.run`'s (witness bookkeeping is not
+    reconstructed — the Datalog path is the specification, not the
+    reporting path).  With ``track_provenance=True`` the evaluating
+    :class:`~repro.datalog.Engine` is attached as ``result.engine`` so
+    callers can render derivation trees for the findings.
+    """
+    options = options or TaintOptions()
+    if facts is None:
+        if runtime_bytecode is None:
+            raise ValueError("need runtime_bytecode or extracted facts")
+        program = lift(runtime_bytecode)
+        facts = extract_facts(program)
+    if storage is None:
+        storage = build_storage_model(facts)
+    if guards is None:
+        guards = build_guard_model(facts, storage)
+
+    database = _facts_to_database(facts, storage, guards, options)
+    engine = Engine(_rules(options), track_provenance=track_provenance)
+    engine.evaluate(database)
+
+    result = TaintResult()
+    result.input_tainted = {row[0] for row in database.facts("InputTaint")}
+    result.storage_tainted = {row[0] for row in database.facts("StorageTaint")}
+    result.tainted_slots = {row[0] for row in database.facts("TaintedStorage")}
+    result.reachable = {row[0] for row in database.facts("ReachableByAttacker")}
+    result.compromised_guards = {
+        row[0] for row in database.facts("CompromisedGuard")
+    }
+    result.writable_mappings = {row[0] for row in database.facts("WritableMapping")}
+    if track_provenance:
+        result.engine = engine  # type: ignore[attr-defined]
+    return result
+
+
+def explain_warning(result_engine, warning, taint: TaintResult) -> str:
+    """Render a derivation tree for one analysis warning.
+
+    Maps each vulnerability kind to the IDB fact that justifies it and asks
+    the provenance-tracking engine for its proof.
+    """
+    from repro.core.vulnerabilities import (
+        ACCESSIBLE_SELFDESTRUCT,
+        TAINTED_OWNER,
+    )
+
+    if warning.kind == ACCESSIBLE_SELFDESTRUCT:
+        return result_engine.format_explanation(
+            "ReachableByAttacker", (warning.statement,)
+        )
+    if warning.kind == TAINTED_OWNER and warning.slot is not None:
+        return result_engine.format_explanation("TaintedStorage", (warning.slot,))
+    # Tainted selfdestruct/delegatecall/staticcall: explain the taint on the
+    # sensitive variable named in the detail text where possible; fall back
+    # to the statement's reachability.
+    for relation in ("StorageTaint", "InputTaint"):
+        for token in warning.detail.split():
+            probe = (relation, (token,))
+            if probe in result_engine.provenance:
+                return result_engine.format_explanation(relation, (token,))
+    return result_engine.format_explanation(
+        "ReachableByAttacker", (warning.statement,)
+    )

@@ -1,0 +1,180 @@
+"""The abstract input language of paper §4 (Figure 1).
+
+Instructions::
+
+    x := OP(y, z)       operation (arithmetic/boolean/equality/phi)
+    x := INPUT()        taint source
+    x := HASH(y)        collision-free hash
+    x := GUARD(p, y)    x receives y sanitized under sender-predicate p
+    SSTORE(f, t)        persistent store: value f to address t
+    SLOAD(f, t)         persistent load: address f to variable t
+    SINK(x)             sensitive instruction (taint sink)
+
+plus ``x := CONST(v)`` to populate the (elided in the paper) ConstValue
+relation, and the reserved variable ``sender``.
+
+A small text syntax is provided for tests and examples::
+
+    v = CONST 42
+    x = INPUT
+    h = HASH x
+    p = EQ sender z
+    g = GUARD p x
+    SSTORE x v
+    SLOAD v y
+    SINK y
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+SENDER = "sender"
+
+
+@dataclass(frozen=True)
+class Const:
+    """``x := CONST(v)``"""
+
+    x: str
+    value: int
+
+
+@dataclass(frozen=True)
+class Input:
+    """``x := INPUT()`` — a taint source."""
+
+    x: str
+
+
+@dataclass(frozen=True)
+class Op:
+    """``x := OP(y, z)`` — any operation; ``op`` distinguishes equality
+    (``"EQ"``), which the guard rules inspect."""
+
+    x: str
+    y: str
+    z: Optional[str] = None
+    op: str = "OP"
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "EQ"
+
+
+@dataclass(frozen=True)
+class Hash:
+    """``x := HASH(y)``"""
+
+    x: str
+    y: str
+
+
+@dataclass(frozen=True)
+class Guard:
+    """``x := GUARD(p, y)`` — x gets y if predicate variable p sanitizes."""
+
+    x: str
+    p: str
+    y: str
+
+
+@dataclass(frozen=True)
+class SStore:
+    """``SSTORE(f, t)`` — store value f at storage address t."""
+
+    f: str
+    t: str
+
+
+@dataclass(frozen=True)
+class SLoad:
+    """``SLOAD(f, t)`` — load storage address f into variable t."""
+
+    f: str
+    t: str
+
+
+@dataclass(frozen=True)
+class Sink:
+    """``SINK(x)`` — sensitive use of x."""
+
+    x: str
+
+
+Instruction = Union[Const, Input, Op, Hash, Guard, SStore, SLoad, Sink]
+
+
+@dataclass
+class AbstractProgram:
+    """A straight-line program over the abstract language.
+
+    The language is flow-insensitive by design (the paper's relations hold
+    globally), so instruction order carries no meaning for the analysis.
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def variables(self) -> List[str]:
+        seen: List[str] = []
+
+        def note(name: Optional[str]) -> None:
+            if name is not None and name not in seen:
+                seen.append(name)
+
+        for ins in self.instructions:
+            for attr in ("x", "y", "z", "p", "f", "t"):
+                note(getattr(ins, attr, None))
+        return seen
+
+
+class AbstractParseError(Exception):
+    """Malformed abstract-language text."""
+
+
+def parse_abstract(text: str) -> AbstractProgram:
+    """Parse the text syntax shown in the module docstring."""
+    program = AbstractProgram()
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.replace("=", " = ").split()
+        try:
+            if tokens[0] in ("SSTORE", "SLOAD", "SINK"):
+                if tokens[0] == "SSTORE":
+                    program.instructions.append(SStore(f=tokens[1], t=tokens[2]))
+                elif tokens[0] == "SLOAD":
+                    program.instructions.append(SLoad(f=tokens[1], t=tokens[2]))
+                else:
+                    program.instructions.append(Sink(x=tokens[1]))
+                continue
+            if tokens[1] != "=":
+                raise AbstractParseError("expected '=' on line %d" % line_number)
+            target, kind = tokens[0], tokens[2]
+            rest = tokens[3:]
+            if kind == "CONST":
+                program.instructions.append(Const(x=target, value=int(rest[0], 0)))
+            elif kind == "INPUT":
+                program.instructions.append(Input(x=target))
+            elif kind == "HASH":
+                program.instructions.append(Hash(x=target, y=rest[0]))
+            elif kind == "GUARD":
+                program.instructions.append(Guard(x=target, p=rest[0], y=rest[1]))
+            elif kind == "EQ":
+                program.instructions.append(
+                    Op(x=target, y=rest[0], z=rest[1], op="EQ")
+                )
+            elif kind == "OP":
+                z = rest[1] if len(rest) > 1 else None
+                program.instructions.append(Op(x=target, y=rest[0], z=z))
+            else:
+                raise AbstractParseError(
+                    "unknown instruction %r on line %d" % (kind, line_number)
+                )
+        except (IndexError, ValueError) as error:
+            raise AbstractParseError(
+                "malformed line %d: %r (%s)" % (line_number, line, error)
+            ) from None
+    return program

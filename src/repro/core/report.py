@@ -1,0 +1,109 @@
+"""Structured reporting: JSON-serializable analysis reports.
+
+The live deployment the paper describes (contract-library.com) publishes
+per-contract vulnerability reports and chain-level statistics; this module
+provides the equivalent report objects for single contracts and batch
+sweeps, used by the CLI's ``analyze --json`` and ``sweep`` commands.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.analysis import AnalysisResult
+from repro.core.vulnerabilities import VULNERABILITY_KINDS
+
+
+@dataclass
+class ContractReport:
+    """One contract's analysis, ready for serialization."""
+
+    name: str
+    bytecode_size: int
+    block_count: int
+    statement_count: int
+    elapsed_seconds: float
+    error: Optional[str]
+    warnings: List[Dict] = field(default_factory=list)
+
+    @classmethod
+    def from_result(
+        cls, result: AnalysisResult, name: str = "", bytecode_size: int = 0
+    ) -> "ContractReport":
+        return cls(
+            name=name,
+            bytecode_size=bytecode_size,
+            block_count=result.block_count,
+            statement_count=result.statement_count,
+            elapsed_seconds=round(result.elapsed_seconds, 6),
+            error=result.error,
+            warnings=[
+                {
+                    "kind": warning.kind,
+                    "pc": warning.pc,
+                    "statement": warning.statement,
+                    "slot": warning.slot,
+                    "detail": warning.detail,
+                }
+                for warning in result.warnings
+            ],
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(asdict(self), indent=indent)
+
+
+@dataclass
+class SweepReport:
+    """Aggregate over a batch of contracts (the §6.2 statistics shape)."""
+
+    total_contracts: int = 0
+    analyzed: int = 0
+    errors: int = 0
+    flagged: int = 0
+    kind_counts: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in VULNERABILITY_KINDS}
+    )
+    total_elapsed_seconds: float = 0.0
+    contracts: List[ContractReport] = field(default_factory=list)
+
+    def add(self, report: ContractReport) -> None:
+        self.total_contracts += 1
+        self.total_elapsed_seconds += report.elapsed_seconds
+        if report.error:
+            self.errors += 1
+            self.contracts.append(report)
+            return
+        self.analyzed += 1
+        if report.warnings:
+            self.flagged += 1
+        for warning in report.warnings:
+            self.kind_counts[warning["kind"]] = (
+                self.kind_counts.get(warning["kind"], 0) + 1
+            )
+        self.contracts.append(report)
+
+    @property
+    def flag_rate(self) -> float:
+        return self.flagged / self.analyzed if self.analyzed else 0.0
+
+    def summary(self) -> Dict:
+        return {
+            "total_contracts": self.total_contracts,
+            "analyzed": self.analyzed,
+            "errors": self.errors,
+            "flagged": self.flagged,
+            "flag_rate": round(self.flag_rate, 4),
+            "kind_counts": dict(self.kind_counts),
+            "avg_elapsed_seconds": round(
+                self.total_elapsed_seconds / max(self.total_contracts, 1), 6
+            ),
+        }
+
+    def to_json(self, indent: int = 2, include_contracts: bool = True) -> str:
+        payload = self.summary()
+        if include_contracts:
+            payload["contracts"] = [asdict(report) for report in self.contracts]
+        return json.dumps(payload, indent=indent)

@@ -1,0 +1,205 @@
+"""Storage and data-structure modeling (paper §4.3, Figure 4).
+
+Computes, over the extracted facts:
+
+* **copy closure** — value equalities through ``PHI`` statements and the
+  constant-address memory model (a flow-insensitive but address-precise
+  rendering of §5's "memory modeled much like variables"),
+* **DS/DSA** — the sender-keyed data-structure relations of Figure 4:
+  ``DS(x)`` = x holds a data-structure element keyed by the caller,
+  ``DSA(x)`` = x is the *address* of such an element.  ``sender``
+  (``CALLER`` results) seeds DS; hashing a DS value gives a DSA; address
+  arithmetic preserves DSA; loading through a DSA address gives DS,
+* **StorageAliasVar** — ``x ~ S(v)``: x is a copy of the value loaded from
+  constant slot v (used by guard rules Uguard-T and the computed sinks of
+  §4.5),
+* **mapping roots** — each resolved ``SHA3`` chain is attributed to the root
+  mapping's constant base slot, giving the granularity at which "attacker
+  can write an arbitrary element of mapping b" is tracked.
+
+All of these are taint-independent and computed before the main fixpoint —
+the paper's "previous stratum" (Figure 2 caption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.facts import ContractFacts
+
+
+@dataclass
+class MappingAccess:
+    """A resolved mapping-element address: root base slot + outermost key."""
+
+    address_var: str  # the SHA3 result used as a storage address
+    base_slot: int  # root mapping's declared slot
+    key_var: str  # key of this (innermost) lookup
+
+
+@dataclass
+class StorageModel:
+    """Static value/data-structure information for one contract."""
+
+    facts: ContractFacts
+    # var -> set of vars it copies from (transitive, includes itself)
+    copy_sources: Dict[str, Set[str]] = field(default_factory=dict)
+    ds_vars: Set[str] = field(default_factory=set)
+    dsa_vars: Set[str] = field(default_factory=set)
+    storage_alias: Dict[str, Set[int]] = field(default_factory=dict)  # x ~ S(v)
+    mapping_accesses: Dict[str, MappingAccess] = field(default_factory=dict)
+    mem_var_of: Dict[int, str] = field(default_factory=dict)
+
+    def is_sender_derived(self, variable: str) -> bool:
+        """Whether ``variable`` is DS (holds sender-keyed data or the sender)."""
+        return variable in self.ds_vars
+
+    def aliases_of(self, variable: str) -> Set[int]:
+        """Constant storage slots ``variable`` is a loaded copy of."""
+        return self.storage_alias.get(variable, set())
+
+
+def memory_var(address: int) -> str:
+    """Pseudo-variable name for the memory word at a constant address."""
+    return "m0x%x" % address
+
+
+def build_storage_model(facts: ContractFacts) -> StorageModel:
+    """Compute the taint-independent static strata (copies, DS/DSA,
+    aliases, mapping roots) for one contract."""
+    model = StorageModel(facts=facts)
+
+    # ------------------------------------------------------ copy closure
+    # Direct copy edges: PHI statements, plus memory-word round trips.
+    direct: Dict[str, Set[str]] = {}
+
+    def add_copy(source: str, dest: str) -> None:
+        direct.setdefault(dest, set()).add(source)
+
+    for source, dest in facts.copy_edges:
+        add_copy(source, dest)
+    for write in facts.memory_writes:
+        add_copy(write.var, memory_var(write.address))
+        model.mem_var_of[write.address] = memory_var(write.address)
+    for read in facts.memory_reads:
+        add_copy(memory_var(read.address), read.var)
+
+    # Transitive closure per variable, memoized (graphs are small and the
+    # copy relation is acyclic except through PHIs; guard with a visited set).
+    closure_cache: Dict[str, Set[str]] = {}
+
+    def closure(variable: str) -> Set[str]:
+        cached = closure_cache.get(variable)
+        if cached is not None:
+            return cached
+        result: Set[str] = {variable}
+        closure_cache[variable] = result  # break PHI cycles
+        for source in direct.get(variable, ()):
+            result.update(closure(source))
+        return result
+
+    all_vars: Set[str] = set(direct)
+    for sources in direct.values():
+        all_vars.update(sources)
+    for variable in all_vars:
+        model.copy_sources[variable] = closure(variable)
+
+    def sources_of(variable: str) -> Set[str]:
+        return model.copy_sources.get(variable, {variable})
+
+    # -------------------------------------------------- storage aliasing
+    for load in facts.storage_loads:
+        if load.const_slot is None or load.def_var is None:
+            continue
+        model.storage_alias.setdefault(load.def_var, set()).add(load.const_slot)
+    # Extend through copies: any var copying a loaded var aliases its slot.
+    for variable in all_vars:
+        for source in sources_of(variable):
+            slots = model.storage_alias.get(source)
+            if slots:
+                model.storage_alias.setdefault(variable, set()).update(slots)
+
+    # ------------------------------------------------------ DS / DSA
+    # Fixpoint over the Figure 4 rules plus copy propagation.
+    ds: Set[str] = set(facts.caller_defs)
+    dsa: Set[str] = set()
+
+    # Pre-index flow shapes.
+    op_edges: List[Tuple[str, str]] = []  # (operand, result) for DATA_OPS
+    for source, dest, stmt in facts.flow_edges:
+        if stmt.opcode not in ("PHI", "SHA3"):
+            op_edges.append((source, dest))
+
+    copy_edges_all: List[Tuple[str, str]] = []
+    for dest, sources in direct.items():
+        for source in sources:
+            copy_edges_all.append((source, dest))
+
+    changed = True
+    while changed:
+        changed = False
+        # DS-Lookup / DSA-Lookup: hashing DS or DSA data yields a DSA.
+        for hash_fact in facts.hashes:
+            if hash_fact.def_var in dsa:
+                continue
+            if any(arg in ds or arg in dsa for arg in hash_fact.args):
+                dsa.add(hash_fact.def_var)
+                changed = True
+        # DS-AddrOp: arithmetic over a DSA stays a DSA.
+        for source, dest in op_edges:
+            if source in dsa and dest not in dsa:
+                dsa.add(dest)
+                changed = True
+        # Copies preserve both relations.
+        for source, dest in copy_edges_all:
+            if source in ds and dest not in ds:
+                ds.add(dest)
+                changed = True
+            if source in dsa and dest not in dsa:
+                dsa.add(dest)
+                changed = True
+        # DSA-Load: dereferencing a DSA address yields DS data.
+        for load in facts.storage_loads:
+            if load.def_var is None or load.def_var in ds:
+                continue
+            if load.address_var in dsa:
+                ds.add(load.def_var)
+                changed = True
+    model.ds_vars = ds
+    model.dsa_vars = dsa
+
+    # ------------------------------------------------- mapping attribution
+    # Resolve each SHA3 chain to its root mapping slot: SHA3(key, base) where
+    # base is a constant, or base is itself an attributed mapping address.
+    pending = list(facts.hashes)
+    progress = True
+    while progress and pending:
+        progress = False
+        remaining = []
+        for hash_fact in pending:
+            if len(hash_fact.args) != 2:
+                continue  # not a mapping-slot computation
+            key_var, base_var = hash_fact.args
+            base_slot: Optional[int] = None
+            base_const = facts.const.get(base_var)
+            if base_const is not None:
+                base_slot = base_const
+            else:
+                for source in sources_of(base_var):
+                    attributed = model.mapping_accesses.get(source)
+                    if attributed is not None:
+                        base_slot = attributed.base_slot
+                        break
+            if base_slot is None:
+                remaining.append(hash_fact)
+                continue
+            model.mapping_accesses[hash_fact.def_var] = MappingAccess(
+                address_var=hash_fact.def_var,
+                base_slot=base_slot,
+                key_var=key_var,
+            )
+            progress = True
+        pending = remaining
+
+    return model

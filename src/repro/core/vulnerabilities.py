@@ -1,0 +1,161 @@
+"""The five Ethainter vulnerability detectors (paper §3).
+
+Each detector consumes the taint fixpoint plus the static models and yields
+:class:`Finding` records.  Detector-by-detector correspondence with §3:
+
+* **accessible selfdestruct** (§3.3) — a ``SELFDESTRUCT`` statement the
+  attacker can reach, directly or after compromising every guard on the way
+  (composite escalation).
+* **tainted selfdestruct** (§3.4) — the beneficiary address of a
+  ``SELFDESTRUCT`` is tainted.  No reachability requirement on the
+  instruction itself: a privileged caller will eventually execute it and pay
+  out to the attacker's planted address.
+* **tainted owner variable** (§3.1, computed sinks of §4.5) — a constant
+  storage slot that some guard compares against ``msg.sender`` ("owner") is
+  attacker-taintable.
+* **tainted delegatecall** (§3.2) — the target of a ``DELEGATECALL`` is
+  tainted.
+* **unchecked tainted staticcall** (§3.5) — a ``STATICCALL`` whose output
+  buffer overlaps its input buffer, with no ``RETURNDATASIZE`` check after
+  the call, and attacker influence on the call (target or input buffer): a
+  short callee return leaves the attacker's input in place as if it were the
+  callee's answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.facts import ContractFacts
+from repro.core.guards import GuardModel
+from repro.core.storage_model import StorageModel, memory_var
+from repro.core.taint import TaintResult
+
+ACCESSIBLE_SELFDESTRUCT = "accessible-selfdestruct"
+TAINTED_SELFDESTRUCT = "tainted-selfdestruct"
+TAINTED_OWNER = "tainted-owner-variable"
+TAINTED_DELEGATECALL = "tainted-delegatecall"
+UNCHECKED_STATICCALL = "unchecked-tainted-staticcall"
+
+VULNERABILITY_KINDS = (
+    ACCESSIBLE_SELFDESTRUCT,
+    TAINTED_SELFDESTRUCT,
+    TAINTED_OWNER,
+    TAINTED_DELEGATECALL,
+    UNCHECKED_STATICCALL,
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One vulnerability report."""
+
+    kind: str
+    statement: str  # TAC statement id ("" for slot-level findings)
+    pc: int  # bytecode offset (-1 when not applicable)
+    detail: str = ""
+    slot: Optional[int] = None
+
+
+def detect(
+    facts: ContractFacts,
+    storage: StorageModel,
+    guards: GuardModel,
+    taint: TaintResult,
+) -> List[Finding]:
+    """Run all five detectors over one contract's analysis artifacts."""
+    findings: List[Finding] = []
+
+    # -------------------------------------------- accessible selfdestruct
+    for stmt in facts.selfdestructs:
+        if taint.is_reachable(stmt.ident):
+            findings.append(
+                Finding(
+                    kind=ACCESSIBLE_SELFDESTRUCT,
+                    statement=stmt.ident,
+                    pc=stmt.pc,
+                    detail="SELFDESTRUCT reachable by attacker",
+                )
+            )
+
+    # ---------------------------------------------- tainted selfdestruct
+    for stmt in facts.selfdestructs:
+        beneficiary = stmt.uses[0]
+        if taint.is_tainted(beneficiary):
+            flavor = (
+                "storage" if beneficiary in taint.storage_tainted else "input"
+            )
+            findings.append(
+                Finding(
+                    kind=TAINTED_SELFDESTRUCT,
+                    statement=stmt.ident,
+                    pc=stmt.pc,
+                    detail="beneficiary %s carries %s taint" % (beneficiary, flavor),
+                )
+            )
+
+    # --------------------------------------------- tainted owner variable
+    for slot in sorted(guards.sink_slots):
+        if slot in taint.tainted_slots:
+            findings.append(
+                Finding(
+                    kind=TAINTED_OWNER,
+                    statement=taint.slot_witness.get(slot, ""),
+                    pc=-1,
+                    detail="owner-comparison slot %d is attacker-taintable" % slot,
+                    slot=slot,
+                )
+            )
+
+    # ------------------------------------------------ tainted delegatecall
+    for call in facts.calls:
+        if call.kind != "DELEGATECALL":
+            continue
+        if taint.is_tainted(call.address_var):
+            findings.append(
+                Finding(
+                    kind=TAINTED_DELEGATECALL,
+                    statement=call.statement.ident,
+                    pc=call.statement.pc,
+                    detail="delegatecall target %s tainted" % call.address_var,
+                )
+            )
+
+    # ----------------------------------- unchecked tainted staticcall
+    for call in facts.calls:
+        if call.kind != "STATICCALL":
+            continue
+        overlap = (
+            call.in_offset is not None
+            and call.out_offset is not None
+            and call.in_offset == call.out_offset
+        )
+        if not overlap:
+            continue
+        checked = call.statement.block in facts.returndatasize_blocks
+        if checked:
+            continue
+        input_mem = memory_var(call.in_offset) if call.in_offset is not None else None
+        influenced = taint.is_tainted(call.address_var) or (
+            input_mem is not None and taint.is_tainted(input_mem)
+        )
+        if influenced:
+            findings.append(
+                Finding(
+                    kind=UNCHECKED_STATICCALL,
+                    statement=call.statement.ident,
+                    pc=call.statement.pc,
+                    detail="output overwrites input without RETURNDATASIZE check",
+                )
+            )
+
+    return findings
+
+
+def findings_by_kind(findings: List[Finding]) -> Dict[str, List[Finding]]:
+    """Group findings by vulnerability kind (all kinds always present)."""
+    grouped: Dict[str, List[Finding]] = {kind: [] for kind in VULNERABILITY_KINDS}
+    for finding in findings:
+        grouped.setdefault(finding.kind, []).append(finding)
+    return grouped

@@ -1,0 +1,24 @@
+"""Synthetic contract corpus with ground-truth vulnerability labels.
+
+Substitutes for the paper's blockchain snapshots (240K unique mainnet
+contracts; 882K Ropsten contracts).  Contracts are generated from
+parameterized templates covering:
+
+* the paper's illustration and every §3 vulnerability class,
+* guarded/safe versions of each pattern (precision probes),
+* realistic benign contracts (tokens, wallets, registries) that imprecise
+  baselines flag ("unrestricted write" / "missing input validation" FPs),
+* deliberately hard cases: one-shot initializers and game-style
+  sender-comparison slots that Ethainter over-approximates (the Figure 6
+  false-positive categories), and magic-value guards Ethainter-Kill cannot
+  satisfy (the §6.1 failure modes).
+
+Every contract carries its ground-truth label set, which lets the
+benchmarks compute exact precision/recall where the paper relied on manual
+inspection.
+"""
+
+from repro.corpus.generator import CorpusContract, generate_corpus
+from repro.corpus.templates import TEMPLATES, TemplateOutput
+
+__all__ = ["generate_corpus", "CorpusContract", "TEMPLATES", "TemplateOutput"]

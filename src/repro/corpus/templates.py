@@ -1,0 +1,1007 @@
+"""Contract templates for the synthetic corpus.
+
+Each template is a function ``(rng) -> TemplateOutput`` producing MiniSol
+source plus ground truth.  Templates randomize identifier names, state
+variable order (hence storage slots), decoy members, and guard style
+(modifier vs. inline ``require``), so no two generated contracts share
+bytecode, mirroring the "unique contract bytecodes" universe of §6.2.
+
+Label semantics (ground truth, used to score analyses):
+
+* ``labels`` — the set of §3 vulnerability kinds genuinely present,
+* ``exploitable_selfdestruct`` — an attacker with no special state can
+  actually destroy the contract (the Ethainter-Kill success criterion),
+* ``expected_fp_kinds`` — kinds Ethainter is *expected* to over-report on
+  this template (the Figure 6 false-positive categories we reproduce).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Set
+
+from repro.core.vulnerabilities import (
+    ACCESSIBLE_SELFDESTRUCT,
+    TAINTED_DELEGATECALL,
+    TAINTED_OWNER,
+    TAINTED_SELFDESTRUCT,
+    UNCHECKED_STATICCALL,
+)
+
+_ADJECTIVES = [
+    "Swift", "Crystal", "Nova", "Prime", "Atlas", "Echo", "Zen", "Lunar",
+    "Solar", "Vertex", "Delta", "Omega", "Pixel", "Quantum", "Rapid", "Ultra",
+]
+_NOUNS = [
+    "Vault", "Token", "Registry", "Market", "Fund", "Pool", "Bridge", "Wallet",
+    "Exchange", "Lottery", "Auction", "Escrow", "Treasury", "Bank", "Store", "Hub",
+]
+_VAR_WORDS = [
+    "owner", "admin", "manager", "curator", "operator", "controller",
+    "guardian", "treasurer", "keeper", "master",
+]
+
+
+@dataclass
+class TemplateOutput:
+    """One generated contract plus ground truth."""
+
+    template: str
+    contract_name: str
+    source: str
+    labels: Set[str] = field(default_factory=set)
+    exploitable_selfdestruct: bool = False
+    expected_fp_kinds: Set[str] = field(default_factory=set)
+    solidity_version: str = "0.4.24"
+    inline_assembly: bool = False
+    has_source: bool = True
+
+
+def _name(rng: random.Random) -> str:
+    return rng.choice(_ADJECTIVES) + rng.choice(_NOUNS) + str(rng.randrange(10, 99))
+
+
+def _owner_var(rng: random.Random) -> str:
+    return rng.choice(_VAR_WORDS)
+
+
+def _version(rng: random.Random, modern_bias: float = 0.3) -> str:
+    """Solidity version tag; only >=0.5.8 contracts are in Securify2's
+    domain (under 3% of the paper's universe were; we use a higher share so
+    the Fig. 7 experiment has a workable sample)."""
+    if rng.random() < modern_bias:
+        return rng.choice(["0.5.8", "0.5.11", "0.6.2"])
+    return rng.choice(["0.4.18", "0.4.21", "0.4.24", "0.4.25", "0.5.0"])
+
+
+def _decoys(rng: random.Random) -> str:
+    """Benign filler members to vary bytecode and exercise the decompiler.
+
+    Always includes an ``about()`` constant getter with a random value so
+    every generated contract has unique runtime bytecode (the §6.2 universe
+    counts unique bytecodes)."""
+    pieces = [
+        """
+    function about() public returns (uint256) { return %d; }"""
+        % rng.randrange(1, 1 << 48)
+    ]
+    if rng.random() < 0.7:
+        pieces.append(
+            """
+    uint256 totalOps;
+    function bump(uint256 by) public returns (uint256) {
+        totalOps = totalOps + by;
+        return totalOps;
+    }"""
+        )
+    if rng.random() < 0.5:
+        pieces.append(
+            """
+    function ping() public returns (uint256) { return %d; }"""
+            % rng.randrange(1, 10_000)
+        )
+    if rng.random() < 0.4:
+        pieces.append(
+            """
+    mapping(address => uint256) lastSeen;
+    function touch() public { lastSeen[msg.sender] = %d; }"""
+            % rng.randrange(1, 10_000)
+        )
+    return "".join(pieces)
+
+
+# --------------------------------------------------------------------------
+# Safe templates (precision probes & baseline-FP generators)
+# --------------------------------------------------------------------------
+
+
+def safe_owned(rng: random.Random) -> TemplateOutput:
+    """Correctly guarded administrable contract: no vulnerabilities."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    use_modifier = rng.random() < 0.5
+    guard_mod = (
+        """
+    modifier onlyOwner() { require(msg.sender == %s); _; }"""
+        % owner
+        if use_modifier
+        else ""
+    )
+    guard_attr = " onlyOwner" if use_modifier else ""
+    guard_stmt = "" if use_modifier else "require(msg.sender == %s);\n        " % owner
+    source = """
+contract %(name)s {
+    address %(owner)s;
+    uint256 config;%(guard_mod)s
+
+    constructor() { %(owner)s = msg.sender; }
+
+    function setConfig(uint256 v) public%(guard_attr)s {
+        %(guard_stmt)sconfig = v;
+    }
+    function transferOwnership(address next) public%(guard_attr)s {
+        %(guard_stmt)s%(owner)s = next;
+    }
+    function shutdown() public%(guard_attr)s {
+        %(guard_stmt)sselfdestruct(%(owner)s);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        "guard_mod": guard_mod,
+        "guard_attr": guard_attr,
+        "guard_stmt": guard_stmt,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="safe_owned",
+        contract_name=name,
+        source=source,
+        solidity_version=_version(rng),
+    )
+
+
+def safe_token(rng: random.Random) -> TemplateOutput:
+    """ERC20-style token: benign, but a classic imprecise-baseline FP (the
+    paper's §6.2 Securify example: unrestricted write / missing input
+    validation on the balances mapping).
+
+    Variants: some tokens have an owner with a guarded ``mint`` (giving the
+    conservative-storage ablation an owner sink to smear onto) and some of
+    those also a guarded ``close`` (giving it a selfdestruct to inflate).
+    """
+    name = _name(rng)
+    owner = _owner_var(rng)
+    has_owner = rng.random() < 0.45
+    has_close = has_owner and rng.random() < 0.5
+    owner_decl = "\n    address %s;" % owner if has_owner else ""
+    owner_init = "\n        %s = msg.sender;" % owner if has_owner else ""
+    mint = (
+        """
+    function mint(address to, uint256 value) public {
+        require(msg.sender == %(owner)s);
+        balances[to] += value;
+        supply += value;
+    }"""
+        % {"owner": owner}
+        if has_owner
+        else ""
+    )
+    close = (
+        """
+    function close() public {
+        require(msg.sender == %(owner)s);
+        selfdestruct(%(owner)s);
+    }"""
+        % {"owner": owner}
+        if has_close
+        else ""
+    )
+    source = """
+contract %(name)s {
+    event Transfer(address to, uint256 value);
+    mapping(address => uint256) balances;
+    mapping(address => mapping(address => uint256)) allowed;%(owner_decl)s
+    uint256 supply;
+
+    constructor() {%(owner_init)s
+        supply = %(supply)d;
+        balances[msg.sender] = %(supply)d;
+    }
+
+    function transfer(address to, uint256 value) public returns (bool) {
+        require(balances[msg.sender] >= value);
+        balances[to] += value;
+        balances[msg.sender] -= value;
+        emit Transfer(to, value);
+        return true;
+    }
+    function approve(address spender, uint256 value) public returns (bool) {
+        allowed[msg.sender][spender] = value;
+        return true;
+    }
+    function transferFrom(address from, address to, uint256 value) public returns (bool) {
+        require(balances[from] >= value);
+        require(allowed[from][msg.sender] >= value);
+        balances[to] += value;
+        balances[from] -= value;
+        allowed[from][msg.sender] -= value;
+        return true;
+    }%(mint)s%(close)s%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner_decl": owner_decl,
+        "owner_init": owner_init,
+        "mint": mint,
+        "close": close,
+        "supply": rng.randrange(10**6, 10**9),
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="safe_token",
+        contract_name=name,
+        source=source,
+        solidity_version=_version(rng),
+    )
+
+
+def safe_wallet(rng: random.Random) -> TemplateOutput:
+    """Deposit/withdraw wallet with per-user balances: benign."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    source = """
+contract %(name)s {
+    mapping(address => uint256) deposits;
+    address %(owner)s;
+
+    constructor() { %(owner)s = msg.sender; }
+
+    function deposit() public {
+        deposits[msg.sender] += msg.value;
+    }
+    function withdraw(uint256 amount) public {
+        require(deposits[msg.sender] >= amount);
+        deposits[msg.sender] -= amount;
+        transfer(msg.sender, amount);
+    }
+    function sweep() public {
+        require(msg.sender == %(owner)s);
+        transfer(%(owner)s, balance(this));
+    }%(close)s%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        "close": (
+            """
+    function close() public {
+        require(msg.sender == %(owner)s);
+        selfdestruct(%(owner)s);
+    }"""
+            % {"owner": owner}
+            if rng.random() < 0.35
+            else ""
+        ),
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="safe_wallet",
+        contract_name=name,
+        source=source,
+        solidity_version=_version(rng),
+    )
+
+
+def guarded_delegatecall(rng: random.Random) -> TemplateOutput:
+    """Owner-guarded delegatecall proxy: benign."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    source = """
+contract %(name)s {
+    address %(owner)s;
+    address implementation;
+
+    constructor(address impl) {
+        %(owner)s = msg.sender;
+        implementation = impl;
+    }
+    function upgrade(address impl) public {
+        require(msg.sender == %(owner)s);
+        implementation = impl;
+    }
+    function forward() public {
+        delegatecall(implementation);
+    }%(credits)s%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        # Some proxies also track per-user credit in a mapping: a tainted
+        # unknown-address store that the conservative-storage ablation
+        # smears onto the implementation slot (Figure 8c's delegatecall bar).
+        "credits": (
+            """
+    mapping(address => uint256) credits;
+    function credit(address who, uint256 v) public { credits[who] = v; }"""
+            if rng.random() < 0.3
+            else ""
+        ),
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="guarded_delegatecall",
+        contract_name=name,
+        source=source,
+        solidity_version=_version(rng),
+    )
+
+
+def checked_staticcall(rng: random.Random) -> TemplateOutput:
+    """Staticcall with the RETURNDATASIZE fix of §3.5: benign."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    address walletAddr;
+    constructor(address w) { walletAddr = w; }
+    function isValidSignature(address wallet) public returns (uint256) {
+        return staticcall_checked(wallet);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="checked_staticcall",
+        contract_name=name,
+        source=source,
+        solidity_version=_version(rng, modern_bias=0.8),
+    )
+
+
+# --------------------------------------------------------------------------
+# Vulnerable templates (§2, §3)
+# --------------------------------------------------------------------------
+
+
+def open_selfdestruct(rng: random.Random) -> TemplateOutput:
+    """§3.3: unguarded selfdestruct to a fixed beneficiary."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    source = """
+contract %(name)s {
+    address %(owner)s;
+    constructor() { %(owner)s = msg.sender; }
+    function close() public {
+        selfdestruct(%(owner)s);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="open_selfdestruct",
+        contract_name=name,
+        source=source,
+        labels={ACCESSIBLE_SELFDESTRUCT},
+        exploitable_selfdestruct=True,
+        solidity_version=_version(rng),
+    )
+
+
+def tainted_selfdestruct_direct(rng: random.Random) -> TemplateOutput:
+    """Selfdestruct with caller-supplied beneficiary: accessible + tainted."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    uint256 opened;
+    constructor() { opened = 1; }
+    function refundAndClose(address to) public {
+        selfdestruct(to);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="tainted_selfdestruct_direct",
+        contract_name=name,
+        source=source,
+        labels={ACCESSIBLE_SELFDESTRUCT, TAINTED_SELFDESTRUCT},
+        exploitable_selfdestruct=True,
+        solidity_version=_version(rng),
+    )
+
+
+def tainted_owner_simple(rng: random.Random) -> TemplateOutput:
+    """§3.1: public (re)initializer lets anyone become owner."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    source = """
+contract %(name)s {
+    address %(owner)s;
+    uint256 funds;
+
+    function init(address first) public {
+        %(owner)s = first;
+    }
+    function setFunds(uint256 v) public {
+        require(msg.sender == %(owner)s);
+        funds = v;
+    }
+    function destroy() public {
+        require(msg.sender == %(owner)s);
+        selfdestruct(%(owner)s);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="tainted_owner_simple",
+        contract_name=name,
+        source=source,
+        labels={TAINTED_OWNER, ACCESSIBLE_SELFDESTRUCT, TAINTED_SELFDESTRUCT},
+        exploitable_selfdestruct=True,
+        solidity_version=_version(rng),
+    )
+
+
+def tainted_selfdestruct_storage(rng: random.Random) -> TemplateOutput:
+    """§3.4: beneficiary (administrator) freely settable, selfdestruct
+    itself properly owner-guarded: tainted but NOT accessible."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    source = """
+contract %(name)s {
+    address %(owner)s;
+    address administrator;
+
+    constructor() { %(owner)s = msg.sender; }
+
+    function initAdmin(address admin) public {
+        administrator = admin;
+    }
+    function close() public {
+        require(msg.sender == %(owner)s);
+        selfdestruct(administrator);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="tainted_selfdestruct_storage",
+        contract_name=name,
+        source=source,
+        labels={TAINTED_SELFDESTRUCT},
+        exploitable_selfdestruct=False,
+        solidity_version=_version(rng),
+    )
+
+
+def composite_victim(rng: random.Random) -> TemplateOutput:
+    """The paper's §2 illustration: user -> admin -> owner -> kill chain."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    source = """
+contract %(name)s {
+    mapping(address => bool) admins;
+    mapping(address => bool) users;
+    address %(owner)s;
+
+    modifier onlyAdmins() { require(admins[msg.sender]); _; }
+    modifier onlyUsers() { require(users[msg.sender]); _; }
+
+    function registerSelf() public {
+        users[msg.sender] = true;
+    }
+    function referUser(address user) public onlyUsers {
+        users[user] = true;
+    }
+    function referAdmin(address adm) public onlyUsers {
+        admins[adm] = true;
+    }
+    function changeOwner(address o) public onlyAdmins {
+        %(owner)s = o;
+    }
+    function kill() public onlyAdmins {
+        selfdestruct(%(owner)s);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        "decoys": _decoys(rng),
+    }
+    # NOTE: the owner slot does get tainted, but Victim never compares it
+    # against msg.sender in a guard (its guards are mapping lookups), so it
+    # is not a §4.5 computed sink — the vulnerability classes here are the
+    # two selfdestruct ones, exactly as the paper's §2 narrative says.
+    return TemplateOutput(
+        template="composite_victim",
+        contract_name=name,
+        source=source,
+        labels={ACCESSIBLE_SELFDESTRUCT, TAINTED_SELFDESTRUCT},
+        exploitable_selfdestruct=True,
+        solidity_version=_version(rng),
+    )
+
+
+def composite_registry(rng: random.Random) -> TemplateOutput:
+    """Two-step composite: self-registration compromises a member guard."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    mapping(address => bool) members;
+    address treasury;
+
+    constructor() { treasury = msg.sender; }
+
+    function join() public {
+        members[msg.sender] = true;
+    }
+    function retire() public {
+        require(members[msg.sender]);
+        selfdestruct(treasury);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="composite_registry",
+        contract_name=name,
+        source=source,
+        labels={ACCESSIBLE_SELFDESTRUCT},
+        exploitable_selfdestruct=True,
+        solidity_version=_version(rng),
+    )
+
+
+def tainted_delegatecall(rng: random.Random) -> TemplateOutput:
+    """§3.2: caller-controlled delegatecall target."""
+    name = _name(rng)
+    inline_assembly = rng.random() < 0.6  # the buggy pattern typically
+    # appears in inline assembly (§6.2), which source-level tools miss.
+    source = """
+contract %(name)s {
+    uint256 version;
+    constructor() { version = %(version)d; }
+    function migrate(address delegate) public {
+        delegatecall(delegate);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "version": rng.randrange(1, 9),
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="tainted_delegatecall",
+        contract_name=name,
+        source=source,
+        labels={TAINTED_DELEGATECALL},
+        solidity_version=_version(rng),
+        inline_assembly=inline_assembly,
+    )
+
+
+def delegatecall_via_storage(rng: random.Random) -> TemplateOutput:
+    """Composite delegatecall: target parked in storage by an open setter."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    address handler;
+    function setHandler(address h) public {
+        handler = h;
+    }
+    function execute() public {
+        delegatecall(handler);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="delegatecall_via_storage",
+        contract_name=name,
+        source=source,
+        labels={TAINTED_DELEGATECALL},
+        solidity_version=_version(rng),
+        inline_assembly=rng.random() < 0.5,
+    )
+
+
+def unchecked_staticcall(rng: random.Random) -> TemplateOutput:
+    """§3.5: the 0x signature-validation bug pattern."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    address registry;
+    constructor(address r) { registry = r; }
+    function isValidSignature(address wallet) public returns (uint256) {
+        return staticcall_unchecked(wallet);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="unchecked_staticcall",
+        contract_name=name,
+        source=source,
+        labels={UNCHECKED_STATICCALL},
+        solidity_version=_version(rng, modern_bias=0.9),
+        inline_assembly=True,  # Solidity assembly block in the original
+    )
+
+
+# --------------------------------------------------------------------------
+# Hard cases: Ethainter false positives & Kill failures (Figure 6 / §6.1)
+# --------------------------------------------------------------------------
+
+
+def fp_one_shot_init(rng: random.Random) -> TemplateOutput:
+    """One-shot initializer guarded by a flag the constructor sets.
+
+    Actually safe (the flag is already 1 on-chain), but the flag equality is
+    a non-sender guard (Uguard-NDS) so Ethainter flags a tainted owner —
+    the Figure 6 "complex path condition" FP category.
+    """
+    name = _name(rng)
+    owner = _owner_var(rng)
+    source = """
+contract %(name)s {
+    address %(owner)s;
+    uint256 initialized;
+
+    constructor() {
+        %(owner)s = msg.sender;
+        initialized = 1;
+    }
+    function init(address first) public {
+        require(initialized == 0);
+        %(owner)s = first;
+        initialized = 1;
+    }
+    function destroy() public {
+        require(msg.sender == %(owner)s);
+        selfdestruct(%(owner)s);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="fp_one_shot_init",
+        contract_name=name,
+        source=source,
+        labels=set(),  # genuinely safe once deployed
+        exploitable_selfdestruct=False,
+        expected_fp_kinds={TAINTED_OWNER, ACCESSIBLE_SELFDESTRUCT, TAINTED_SELFDESTRUCT},
+        solidity_version=_version(rng),
+    )
+
+
+def fp_game_winner(rng: random.Random) -> TemplateOutput:
+    """A sender-compared slot that is intentionally world-writable (a game's
+    current-winner slot): Ethainter reports tainted owner; manual inspection
+    says working-as-intended — the Figure 6 "not an owner variable" FP."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    address lastWinner;
+    uint256 round;
+
+    function play(address beneficiary) public {
+        lastWinner = beneficiary;
+        round += 1;
+    }
+    function claimBonus() public returns (uint256) {
+        require(msg.sender == lastWinner);
+        return round;
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="fp_game_winner",
+        contract_name=name,
+        source=source,
+        labels=set(),
+        expected_fp_kinds={TAINTED_OWNER},
+        solidity_version=_version(rng),
+    )
+
+
+def kill_magic_value(rng: random.Random) -> TemplateOutput:
+    """Accessible selfdestruct behind a magic-value check.
+
+    A true positive (the magic constant is public on-chain), but
+    Ethainter-Kill's argument heuristics cannot guess it — one of the §6.1
+    automated-exploitation failure classes.
+    """
+    name = _name(rng)
+    magic = rng.randrange(10**9, 10**12)
+    source = """
+contract %(name)s {
+    address payout;
+    constructor() { payout = msg.sender; }
+    function emergency(uint256 code) public {
+        require(code == %(magic)d);
+        selfdestruct(payout);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "magic": magic,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="kill_magic_value",
+        contract_name=name,
+        source=source,
+        labels={ACCESSIBLE_SELFDESTRUCT},
+        exploitable_selfdestruct=False,  # not with heuristic arguments
+        solidity_version=_version(rng),
+    )
+
+
+def dead_state_selfdestruct(rng: random.Random) -> TemplateOutput:
+    """Selfdestruct behind a state check that can never pass.
+
+    ``active`` is pinned to 1 in the constructor and never changed, so the
+    ``require(active == 2)`` gate is dead — but a flag-equality guard is
+    non-sender (Uguard-NDS), so Ethainter reports an accessible
+    selfdestruct.  A Figure 6 "complex path condition"-style FP, and a §6.1
+    Kill failure (the plan executes but every transaction reverts)."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    address sink;
+    uint256 active;
+    constructor() { sink = msg.sender; active = 1; }
+    function cleanup() internal {
+        selfdestruct(sink);
+    }
+    function decommission() public {
+        require(active == 2);
+        cleanup();
+    }
+    function status() public returns (uint256) { return active; }%(decoys)s
+}
+""" % {
+        "name": name,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="dead_state_selfdestruct",
+        contract_name=name,
+        source=source,
+        labels=set(),  # the gate is genuinely dead: not exploitable
+        exploitable_selfdestruct=False,
+        expected_fp_kinds={ACCESSIBLE_SELFDESTRUCT},
+        solidity_version=_version(rng),
+    )
+
+
+def nested_role_registry(rng: random.Random) -> TemplateOutput:
+    """Role system on a *nested* mapping with an unguarded grant.
+
+    Exercises the DSA-Lookup chain of Figure 4 (hash of a hash) and is a
+    §6.1 Kill-failure case: the exploit needs a specific role constant the
+    argument heuristics cannot pair with the attacker address.
+    """
+    name = _name(rng)
+    role = rng.randrange(1, 6)
+    source = """
+contract %(name)s {
+    mapping(address => mapping(uint256 => bool)) roles;
+    address treasury;
+
+    constructor() {
+        treasury = msg.sender;
+        roles[msg.sender][%(role)d] = true;
+    }
+    function grant(address who, uint256 role) public {
+        roles[who][role] = true;
+    }
+    function shutdown() public {
+        require(roles[msg.sender][%(role)d]);
+        selfdestruct(treasury);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "role": role,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="nested_role_registry",
+        contract_name=name,
+        source=source,
+        labels={ACCESSIBLE_SELFDESTRUCT},
+        exploitable_selfdestruct=True,  # grant(attacker, ROLE) then shutdown
+        solidity_version=_version(rng),
+    )
+
+
+def large_dao(rng: random.Random) -> TemplateOutput:
+    """A governance-style contract big enough to trip Securify2's size
+    cutoff (the paper's 441-of-7,276 timeout class) while staying benign.
+
+    Also a stress case for the decompiler (many public functions, deep
+    dispatcher) and for per-contract analysis latency.
+    """
+    name = _name(rng)
+    owner = _owner_var(rng)
+    proposal_count = rng.randrange(6, 10)
+    sections = []
+    for index in range(proposal_count):
+        sections.append(
+            """
+    uint256 tally%(i)d;
+    function voteFor%(i)d(uint256 weight) public {
+        require(weight > 0);
+        uint256 adjusted = weight;
+        if (adjusted > 100) { adjusted = 100; }
+        tally%(i)d += adjusted;
+        votes[msg.sender] += adjusted;
+    }
+    function tallyOf%(i)d() public returns (uint256) { return tally%(i)d; }"""
+            % {"i": index}
+        )
+    source = """
+contract %(name)s {
+    mapping(address => uint256) votes;
+    address %(owner)s;
+    uint256 quorum;
+
+    constructor() { %(owner)s = msg.sender; quorum = %(quorum)d; }
+
+    function setQuorum(uint256 q) public {
+        require(msg.sender == %(owner)s);
+        quorum = q;
+    }%(sections)s%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        "quorum": rng.randrange(10, 1000),
+        "sections": "".join(sections),
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="large_dao",
+        contract_name=name,
+        source=source,
+        solidity_version=_version(rng, modern_bias=0.6),
+    )
+
+
+
+def array_write_unchecked(rng: random.Random) -> TemplateOutput:
+    """Unchecked array index write: raw slot arithmetic lets the attacker
+    overwrite ANY slot, including the owner — the true "unrestricted write"
+    StorageWrite-2 exists for (and the real-world bug class behind several
+    storage-collision exploits)."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    size = rng.randrange(2, 8)
+    source = """
+contract %(name)s {
+    uint256[%(size)d] cells;
+    address %(owner)s;
+
+    constructor() { %(owner)s = msg.sender; }
+
+    function store(uint256 index, uint256 value) public {
+        cells[index] = value;
+    }
+    function load(uint256 index) public returns (uint256) {
+        return cells[index];
+    }
+    function shutdown() public {
+        require(msg.sender == %(owner)s);
+        selfdestruct(%(owner)s);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "size": size,
+        "owner": owner,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="array_write_unchecked",
+        contract_name=name,
+        source=source,
+        labels={TAINTED_OWNER, ACCESSIBLE_SELFDESTRUCT, TAINTED_SELFDESTRUCT},
+        exploitable_selfdestruct=True,  # store(ownerSlot, attacker); shutdown()
+        solidity_version=_version(rng),
+    )
+
+
+def array_write_checked(rng: random.Random) -> TemplateOutput:
+    """Bounds-checked array write: genuinely confined to the array's slots,
+    but the range check is not a sender guard, so StorageWrite-2 still
+    smears — an honest Ethainter false positive (the aliasing
+    under-approximation's flip side, §4.4)."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    size = rng.randrange(2, 8)
+    source = """
+contract %(name)s {
+    uint256[%(size)d] cells;
+    address %(owner)s;
+
+    constructor() { %(owner)s = msg.sender; }
+
+    function store(uint256 index, uint256 value) public {
+        require(index < %(size)d);
+        cells[index] = value;
+    }
+    function shutdown() public {
+        require(msg.sender == %(owner)s);
+        selfdestruct(%(owner)s);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "size": size,
+        "owner": owner,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="array_write_checked",
+        contract_name=name,
+        source=source,
+        labels=set(),
+        exploitable_selfdestruct=False,
+        expected_fp_kinds={TAINTED_OWNER, ACCESSIBLE_SELFDESTRUCT, TAINTED_SELFDESTRUCT},
+        solidity_version=_version(rng),
+    )
+
+
+TEMPLATES: Dict[str, Callable[[random.Random], TemplateOutput]] = {
+    "safe_owned": safe_owned,
+    "safe_token": safe_token,
+    "safe_wallet": safe_wallet,
+    "guarded_delegatecall": guarded_delegatecall,
+    "checked_staticcall": checked_staticcall,
+    "open_selfdestruct": open_selfdestruct,
+    "tainted_selfdestruct_direct": tainted_selfdestruct_direct,
+    "tainted_owner_simple": tainted_owner_simple,
+    "tainted_selfdestruct_storage": tainted_selfdestruct_storage,
+    "composite_victim": composite_victim,
+    "composite_registry": composite_registry,
+    "tainted_delegatecall": tainted_delegatecall,
+    "delegatecall_via_storage": delegatecall_via_storage,
+    "unchecked_staticcall": unchecked_staticcall,
+    "fp_one_shot_init": fp_one_shot_init,
+    "fp_game_winner": fp_game_winner,
+    "kill_magic_value": kill_magic_value,
+    "dead_state_selfdestruct": dead_state_selfdestruct,
+    "nested_role_registry": nested_role_registry,
+    "large_dao": large_dao,
+    "array_write_unchecked": array_write_unchecked,
+    "array_write_checked": array_write_checked,
+}

@@ -1,0 +1,33 @@
+"""A Datalog engine with semi-naive evaluation and stratified negation.
+
+Stands in for the Soufflé engine (Jordan et al., CAV'16) that executes the
+Ethainter rules in the paper.  Supports:
+
+* mutually recursive rules evaluated semi-naively (delta relations),
+* stratified negation (negative dependencies may not occur inside a
+  recursive component — checked at stratification time),
+* wildcard ``_`` arguments, constants, and Python filter predicates,
+* a textual parser for a Soufflé-like surface syntax (``:-``, ``!``, ``.``).
+
+The engine is deliberately generic: the Ethainter core rules
+(:mod:`repro.core.datalog_rules`) and the abstract-language formalism both
+run on it, and its fixpoints are cross-checked against hand-written
+fixpoint code in the test suite.
+"""
+
+from repro.datalog.terms import Atom, Literal, Rule, Variable, var
+from repro.datalog.engine import Database, Engine, StratificationError
+from repro.datalog.parser import parse_program, parse_rule
+
+__all__ = [
+    "Variable",
+    "var",
+    "Atom",
+    "Literal",
+    "Rule",
+    "Database",
+    "Engine",
+    "StratificationError",
+    "parse_program",
+    "parse_rule",
+]

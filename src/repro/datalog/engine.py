@@ -1,0 +1,397 @@
+"""Semi-naive, stratified Datalog evaluation.
+
+Evaluation pipeline:
+
+1. **Stratification** — relations are grouped into strongly connected
+   components of the rule dependency graph; a negative edge inside an SCC is
+   a :class:`StratificationError` (the program is not stratifiable).  SCCs
+   are evaluated in topological order, so a negated relation is always fully
+   computed before it is read.
+2. **Semi-naive iteration** — within a recursive SCC, each iteration joins
+   one "delta" (facts new in the previous round) occurrence of a recursive
+   relation against full relations, avoiding re-derivation.
+3. **Indexed joins** — literals are matched via per-relation hash indexes on
+   their bound argument positions, built lazily per (relation, positions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.terms import (
+    Atom,
+    Binding,
+    Filter,
+    Literal,
+    Rule,
+    Variable,
+    match,
+    substitute,
+)
+
+
+class StratificationError(Exception):
+    """The program uses negation through recursion."""
+
+
+class Database:
+    """Fact storage: relation name -> set of tuples, with lazy hash indexes."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Set[Tuple]] = {}
+        # (relation, bound positions) -> {key tuple: [facts]}
+        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[Tuple, List[Tuple]]] = {}
+
+    def add(self, relation: str, fact: Iterable) -> bool:
+        """Insert one fact; returns True if it was new."""
+        fact_tuple = tuple(fact)
+        rel = self._relations.setdefault(relation, set())
+        if fact_tuple in rel:
+            return False
+        rel.add(fact_tuple)
+        # Update any existing indexes incrementally.
+        for (indexed_relation, positions), index in self._indexes.items():
+            if indexed_relation == relation:
+                key = tuple(fact_tuple[p] for p in positions)
+                index.setdefault(key, []).append(fact_tuple)
+        return True
+
+    def add_all(self, relation: str, facts: Iterable[Iterable]) -> int:
+        """Insert many facts; returns how many were new."""
+        return sum(1 for fact in facts if self.add(relation, fact))
+
+    def facts(self, relation: str) -> Set[Tuple]:
+        """The (live) fact set of ``relation``."""
+        return self._relations.get(relation, set())
+
+    def relations(self) -> List[str]:
+        """Names of all populated relations."""
+        return list(self._relations)
+
+    def contains(self, relation: str, fact: Iterable) -> bool:
+        """Membership test for one fact."""
+        return tuple(fact) in self._relations.get(relation, ())
+
+    def count(self, relation: str) -> int:
+        """Number of facts in ``relation``."""
+        return len(self._relations.get(relation, ()))
+
+    def lookup(
+        self, relation: str, positions: Tuple[int, ...], key: Tuple
+    ) -> List[Tuple]:
+        """Facts whose values at ``positions`` equal ``key`` (indexed)."""
+        if not positions:
+            return list(self._relations.get(relation, ()))
+        index_key = (relation, positions)
+        index = self._indexes.get(index_key)
+        if index is None:
+            index = {}
+            for fact in self._relations.get(relation, ()):
+                fact_key = tuple(fact[p] for p in positions)
+                index.setdefault(fact_key, []).append(fact)
+            self._indexes[index_key] = index
+        return index.get(key, [])
+
+    def clone_relation(self, relation: str) -> Set[Tuple]:
+        """A copy of one relation's fact set."""
+        return set(self._relations.get(relation, ()))
+
+
+class Engine:
+    """Evaluates a rule set over a database to fixpoint.
+
+    With ``track_provenance=True`` the engine records, for each derived
+    fact, the rule and body facts of its *first* derivation; ``explain``
+    then renders the derivation tree down to the EDB — the "why" behind an
+    analysis warning.
+    """
+
+    def __init__(self, rules: Sequence[Rule], track_provenance: bool = False):
+        self.rules = list(rules)
+        self.track_provenance = track_provenance
+        # (relation, fact) -> (rule, [(relation, fact), ...]) of 1st proof.
+        self.provenance: Dict[Tuple[str, Tuple], Tuple[Rule, List[Tuple[str, Tuple]]]] = {}
+        self.strata = self._stratify()
+
+    # -------------------------------------------------------- stratification
+
+    def _dependency_graph(self):
+        """Edges head <- body with polarity; returns (all relations, edges)."""
+        relations: Set[str] = set()
+        edges: List[Tuple[str, str, bool]] = []  # (from body rel, to head rel, negated)
+        for rule in self.rules:
+            relations.add(rule.head.relation)
+            for item in rule.body:
+                if isinstance(item, Literal):
+                    relations.add(item.atom.relation)
+                    edges.append((item.atom.relation, rule.head.relation, item.negated))
+        return relations, edges
+
+    def _stratify(self) -> List[List[Rule]]:
+        relations, edges = self._dependency_graph()
+        successors: Dict[str, Set[str]] = {rel: set() for rel in relations}
+        for source, target, _ in edges:
+            successors[source].add(target)
+
+        # Tarjan SCC.
+        index_counter = [0]
+        stack: List[str] = []
+        lowlink: Dict[str, int] = {}
+        index: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        component_of: Dict[str, int] = {}
+        components: List[List[str]] = []
+
+        def strongconnect(node: str) -> None:
+            worklist = [(node, iter(successors[node]))]
+            index[node] = lowlink[node] = index_counter[0]
+            index_counter[0] += 1
+            stack.append(node)
+            on_stack.add(node)
+            while worklist:
+                current, successor_iter = worklist[-1]
+                advanced = False
+                for successor in successor_iter:
+                    if successor not in index:
+                        index[successor] = lowlink[successor] = index_counter[0]
+                        index_counter[0] += 1
+                        stack.append(successor)
+                        on_stack.add(successor)
+                        worklist.append((successor, iter(successors[successor])))
+                        advanced = True
+                        break
+                    if successor in on_stack:
+                        lowlink[current] = min(lowlink[current], index[successor])
+                if advanced:
+                    continue
+                worklist.pop()
+                if worklist:
+                    parent = worklist[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[current])
+                if lowlink[current] == index[current]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component_of[member] = len(components)
+                        component.append(member)
+                        if member == current:
+                            break
+                    components.append(component)
+
+        for rel in relations:
+            if rel not in index:
+                strongconnect(rel)
+
+        # Negative edge inside one SCC => not stratifiable.
+        for source, target, negated in edges:
+            if negated and component_of[source] == component_of[target]:
+                raise StratificationError(
+                    "negation of %r is recursive with %r" % (source, target)
+                )
+
+        # Stratum levels: Kahn-style longest path over the SCC condensation.
+        condensed: Dict[int, Set[int]] = {i: set() for i in range(len(components))}
+        for source, target, _ in edges:
+            s, t = component_of[source], component_of[target]
+            if s != t:
+                condensed[s].add(t)
+        indegree: Dict[int, int] = {i: 0 for i in range(len(components))}
+        for source_component, targets in condensed.items():
+            for target_component in targets:
+                indegree[target_component] += 1
+        queue = [c for c, d in indegree.items() if d == 0]
+        level: Dict[int, int] = {c: 0 for c in queue}
+        while queue:
+            current = queue.pop()
+            for target_component in condensed[current]:
+                level[target_component] = max(
+                    level.get(target_component, 0), level[current] + 1
+                )
+                indegree[target_component] -= 1
+                if indegree[target_component] == 0:
+                    queue.append(target_component)
+
+        max_level = max(level.values(), default=0)
+        strata: List[List[Rule]] = [[] for _ in range(max_level + 1)]
+        for rule in self.rules:
+            component = component_of[rule.head.relation]
+            strata[level.get(component, 0)].append(rule)
+        return [stratum for stratum in strata if stratum]
+
+    # ------------------------------------------------------------ evaluation
+
+    def evaluate(self, database: Database, max_iterations: int = 1_000_000) -> Database:
+        """Run all strata to fixpoint, mutating and returning ``database``."""
+        for stratum in self.strata:
+            self._evaluate_stratum(database, stratum, max_iterations)
+        return database
+
+    def _evaluate_stratum(
+        self, database: Database, rules: List[Rule], max_iterations: int
+    ) -> None:
+        heads = {rule.head.relation for rule in rules}
+
+        # Naive first round to seed deltas, then semi-naive iteration.
+        delta: Dict[str, Set[Tuple]] = {rel: set() for rel in heads}
+        for rule in rules:
+            for fact, support in self._derive(database, rule, None, {}):
+                if database.add(rule.head.relation, fact):
+                    delta[rule.head.relation].add(fact)
+                    self._record(rule, fact, support)
+
+        iterations = 0
+        while any(delta.values()):
+            iterations += 1
+            if iterations > max_iterations:
+                raise RuntimeError("datalog evaluation did not converge")
+            new_delta: Dict[str, Set[Tuple]] = {rel: set() for rel in heads}
+            for rule in rules:
+                recursive_positions = [
+                    position
+                    for position, item in enumerate(rule.body)
+                    if isinstance(item, Literal)
+                    and not item.negated
+                    and item.atom.relation in heads
+                    and delta.get(item.atom.relation)
+                ]
+                for delta_position in recursive_positions:
+                    for fact, support in self._derive(
+                        database, rule, delta_position, delta
+                    ):
+                        if database.add(rule.head.relation, fact):
+                            new_delta[rule.head.relation].add(fact)
+                            self._record(rule, fact, support)
+            delta = new_delta
+
+    def _derive(
+        self,
+        database: Database,
+        rule: Rule,
+        delta_position: Optional[int],
+        delta: Dict[str, Set[Tuple]],
+    ):
+        """Yield (head fact, supporting body facts) pairs from ``rule``.
+
+        When ``delta_position`` is given, that body literal iterates only the
+        delta facts (semi-naive restriction).  Support lists are collected
+        only when provenance tracking is on (empty otherwise).
+        """
+        results: List[Tuple[Tuple, List[Tuple[str, Tuple]]]] = []
+        tracking = self.track_provenance
+
+        def join(
+            position: int, binding: Binding, support: List[Tuple[str, Tuple]]
+        ) -> None:
+            if position == len(rule.body):
+                results.append((substitute(rule.head, binding), support))
+                return
+            item = rule.body[position]
+            if isinstance(item, Filter):
+                values = [
+                    binding[arg] if isinstance(arg, Variable) else arg
+                    for arg in item.args
+                ]
+                if item.predicate(*values):
+                    join(position + 1, binding, support)
+                return
+            atom, negated = item.atom, item.negated
+            if negated:
+                # All variables are bound (safety check at construction).
+                probe = tuple(
+                    binding[arg] if isinstance(arg, Variable) else arg
+                    for arg in atom.args
+                )
+                if not database.contains(atom.relation, probe):
+                    join(position + 1, binding, support)
+                return
+            if position == delta_position:
+                candidates: Iterable[Tuple] = delta.get(atom.relation, ())
+                for fact in candidates:
+                    extended = match(atom.args, fact, binding)
+                    if extended is not None:
+                        join(
+                            position + 1,
+                            extended,
+                            support + [(atom.relation, fact)] if tracking else support,
+                        )
+                return
+            # Indexed lookup on bound positions.
+            bound_positions: List[int] = []
+            key_values: List[Any] = []
+            for argument_position, arg in enumerate(atom.args):
+                if isinstance(arg, Variable):
+                    if not arg.is_wildcard and arg in binding:
+                        bound_positions.append(argument_position)
+                        key_values.append(binding[arg])
+                else:
+                    bound_positions.append(argument_position)
+                    key_values.append(arg)
+            for fact in database.lookup(
+                atom.relation, tuple(bound_positions), tuple(key_values)
+            ):
+                extended = match(atom.args, fact, binding)
+                if extended is not None:
+                    join(
+                        position + 1,
+                        extended,
+                        support + [(atom.relation, fact)] if tracking else support,
+                    )
+
+        join(0, {}, [])
+        return results
+
+
+    # ----------------------------------------------------------- provenance
+
+    def _record(
+        self, rule: Rule, fact: Tuple, support: List[Tuple[str, Tuple]]
+    ) -> None:
+        if not self.track_provenance:
+            return
+        key = (rule.head.relation, fact)
+        if key not in self.provenance:
+            self.provenance[key] = (rule, support)
+
+    def explain(
+        self, relation: str, fact: Iterable, max_depth: int = 32
+    ) -> Optional[dict]:
+        """Derivation tree for ``fact``: ``{"fact", "rule", "premises"}``.
+
+        EDB facts (never derived by a rule) get ``{"rule": None}`` leaves.
+        Returns None if the fact has no recorded derivation and therefore
+        must be an EDB fact or underivable.
+        """
+        key = (relation, tuple(fact))
+        entry = self.provenance.get(key)
+        node = {"fact": "%s%r" % (relation, tuple(fact)), "rule": None, "premises": []}
+        if entry is None or max_depth == 0:
+            return node
+        rule, support = entry
+        node["rule"] = repr(rule)
+        for premise_relation, premise_fact in support:
+            node["premises"].append(
+                self.explain(premise_relation, premise_fact, max_depth - 1)
+            )
+        return node
+
+    def format_explanation(self, relation: str, fact: Iterable) -> str:
+        """Human-readable indented derivation tree."""
+        lines: List[str] = []
+
+        def walk(node: dict, depth: int) -> None:
+            lines.append("  " * depth + node["fact"])
+            if node["rule"]:
+                lines.append("  " * depth + "  via " + node["rule"])
+            for premise in node["premises"]:
+                walk(premise, depth + 1)
+
+        tree = self.explain(relation, fact)
+        if tree is not None:
+            walk(tree, 0)
+        return "\n".join(lines)
+
+
+def run(rules: Sequence[Rule], database: Database) -> Database:
+    """Convenience one-shot evaluation."""
+    return Engine(rules).evaluate(database)

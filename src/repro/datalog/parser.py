@@ -1,0 +1,159 @@
+"""Parser for a Soufflé-like textual Datalog syntax.
+
+Supported surface syntax::
+
+    // comment
+    .decl Edge(x, y)                     // optional, arity recorded
+    Path(x, y) :- Edge(x, y).
+    Path(x, z) :- Path(x, y), Edge(y, z).
+    Safe(x) :- Node(x), !Tainted(x).
+    Fact("a", 42).                       // ground fact (stored as a rule)
+
+Terms: lowercase identifiers are variables, ``_`` is the wildcard, quoted
+strings and integer literals are constants.  Uppercase-initial identifiers
+are also variables (Datalog tradition varies; here anything unquoted and
+non-numeric is a variable) — use quotes for symbolic constants.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.datalog.terms import Atom, Literal, Rule, Variable
+
+
+class DatalogSyntaxError(Exception):
+    """Malformed Datalog text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<decl>\.decl)
+  | (?P<implies>:-)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>[(),.!])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        matched = _TOKEN_RE.match(text, position)
+        if matched is None:
+            raise DatalogSyntaxError(
+                "unexpected character %r at offset %d" % (text[position], position)
+            )
+        kind = matched.lastgroup
+        if kind not in ("ws", "comment"):
+            tokens.append((kind, matched.group()))
+        position = matched.end()
+    tokens.append(("eof", ""))
+    return tokens
+
+
+@dataclass
+class ParsedProgram:
+    rules: List[Rule] = field(default_factory=list)
+    declarations: Dict[str, int] = field(default_factory=dict)  # relation -> arity
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, str]]):
+        self.tokens = tokens
+        self.position = 0
+
+    @property
+    def current(self) -> Tuple[str, str]:
+        return self.tokens[self.position]
+
+    def advance(self) -> Tuple[str, str]:
+        token = self.current
+        if token[0] != "eof":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str, text: str = None) -> Tuple[str, str]:
+        token = self.current
+        if token[0] != kind or (text is not None and token[1] != text):
+            raise DatalogSyntaxError("expected %s %r, got %r" % (kind, text, token[1]))
+        return self.advance()
+
+    def parse(self) -> ParsedProgram:
+        program = ParsedProgram()
+        while self.current[0] != "eof":
+            if self.current[0] == "decl":
+                self.advance()
+                name = self.expect("ident")[1]
+                self.expect("punct", "(")
+                arity = 0
+                while self.current[1] != ")":
+                    self.advance()
+                    arity += 1
+                    if self.current[1] == ",":
+                        self.advance()
+                self.expect("punct", ")")
+                program.declarations[name] = arity
+                continue
+            program.rules.append(self.parse_rule())
+        return program
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        body = []
+        if self.current == ("implies", ":-"):
+            self.advance()
+            while True:
+                negated = False
+                if self.current == ("punct", "!"):
+                    self.advance()
+                    negated = True
+                atom = self.parse_atom()
+                body.append(Literal(atom, negated=negated))
+                if self.current == ("punct", ","):
+                    self.advance()
+                    continue
+                break
+        self.expect("punct", ".")
+        return Rule(head=head, body=body)
+
+    def parse_atom(self) -> Atom:
+        name = self.expect("ident")[1]
+        self.expect("punct", "(")
+        args = []
+        while self.current[1] != ")":
+            kind, text = self.advance()
+            if kind == "string":
+                args.append(text[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
+            elif kind == "number":
+                args.append(int(text))
+            elif kind == "ident":
+                args.append(Variable(text))
+            else:
+                raise DatalogSyntaxError("unexpected term %r" % text)
+            if self.current == ("punct", ","):
+                self.advance()
+        self.expect("punct", ")")
+        return Atom(name, *args)
+
+
+def parse_program(text: str) -> ParsedProgram:
+    """Parse a full program (declarations + rules + ground facts)."""
+    return _Parser(_tokenize(text)).parse()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule or fact."""
+    parser = _Parser(_tokenize(text))
+    rule = parser.parse_rule()
+    if parser.current[0] != "eof":
+        raise DatalogSyntaxError("trailing input after rule")
+    return rule

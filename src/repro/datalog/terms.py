@@ -1,0 +1,173 @@
+"""Datalog terms: variables, atoms, literals, rules.
+
+Constants are arbitrary hashable Python values (strings and ints in
+practice); variables are :class:`Variable` instances.  The wildcard variable
+``_`` (any Variable named ``"_"``) matches anything and binds nothing,
+mirroring the paper's "don't care" ``*`` convention (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Variable:
+    name: str
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.name == "_"
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def var(names: str) -> List[Variable]:
+    """Convenience: ``x, y = var("x y")``."""
+    return [Variable(name) for name in names.split()]
+
+
+Term = Any  # Variable or constant
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``relation(arg0, arg1, ...)``."""
+
+    relation: str
+    args: Tuple[Term, ...]
+
+    def __init__(self, relation: str, *args: Term):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> List[Variable]:
+        return [a for a in self.args if isinstance(a, Variable) and not a.is_wildcard]
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (self.relation, ", ".join(map(repr, self.args)))
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A body literal: an atom, possibly negated."""
+
+    atom: Atom
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        return ("!" if self.negated else "") + repr(self.atom)
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A Python predicate over bound variables, e.g. arithmetic guards.
+
+    ``predicate`` receives the values of ``args`` (constants pass through)
+    and returns truthiness.  Filters must appear after the literals that bind
+    their variables.
+    """
+
+    predicate: Callable[..., bool]
+    args: Tuple[Term, ...]
+    name: str = "<filter>"
+
+    def __init__(self, predicate: Callable[..., bool], *args: Term, name: str = "<filter>"):
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", tuple(args))
+        object.__setattr__(self, "name", name)
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (self.name, ", ".join(map(repr, self.args)))
+
+
+BodyItem = Any  # Literal or Filter
+
+
+@dataclass
+class Rule:
+    """``head :- body.``  An empty body makes the rule a fact template."""
+
+    head: Atom
+    body: List[BodyItem] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._check_safety()
+
+    def _check_safety(self) -> None:
+        """Every head/negated/filter variable must occur in a positive literal."""
+        positive: set = set()
+        for item in self.body:
+            if isinstance(item, Literal) and not item.negated:
+                positive.update(item.atom.variables())
+        for head_var in self.head.variables():
+            if head_var not in positive and self.body:
+                raise ValueError(
+                    "unsafe rule: head variable %r not bound positively in %r"
+                    % (head_var, self)
+                )
+        for item in self.body:
+            if isinstance(item, Literal) and item.negated:
+                for negated_var in item.atom.variables():
+                    if negated_var not in positive:
+                        raise ValueError(
+                            "unsafe rule: negated variable %r not bound in %r"
+                            % (negated_var, self)
+                        )
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return "%r." % self.head
+        return "%r :- %s." % (self.head, ", ".join(map(repr, self.body)))
+
+
+Binding = Dict[Variable, Any]
+
+
+def match(atom_args: Sequence[Term], fact: Tuple, binding: Binding) -> Optional[Binding]:
+    """Try to extend ``binding`` so that ``atom_args`` matches ``fact``."""
+    if len(atom_args) != len(fact):
+        return None
+    extended = binding
+    copied = False
+    for pattern, value in zip(atom_args, fact):
+        if isinstance(pattern, Variable):
+            if pattern.is_wildcard:
+                continue
+            bound = extended.get(pattern, _MISSING)
+            if bound is _MISSING:
+                if not copied:
+                    extended = dict(extended)
+                    copied = True
+                extended[pattern] = value
+            elif bound != value:
+                return None
+        elif pattern != value:
+            return None
+    return extended
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def substitute(atom: Atom, binding: Binding) -> Tuple:
+    """Instantiate an atom's arguments under a (complete) binding."""
+    out = []
+    for arg in atom.args:
+        if isinstance(arg, Variable):
+            if arg.is_wildcard:
+                raise ValueError("wildcard in rule head: %r" % (atom,))
+            out.append(binding[arg])
+        else:
+            out.append(arg)
+    return tuple(out)

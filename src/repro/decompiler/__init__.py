@@ -1,0 +1,14 @@
+"""Bytecode decompiler: EVM bytecode -> functional three-address code.
+
+Stands in for the Gigahorse toolchain the paper builds on.  The lifter
+(:mod:`repro.decompiler.lifter`) recovers the control-flow graph by
+context-sensitive abstract interpretation of the operand stack — block
+instances are cloned per constant-stack context, which resolves the
+push-return-address/jump calling convention precisely, the key difficulty of
+EVM decompilation the paper highlights (§1, §5).
+"""
+
+from repro.decompiler.lifter import LiftError, lift
+from repro.decompiler.functions import find_public_functions, PublicFunction
+
+__all__ = ["lift", "LiftError", "find_public_functions", "PublicFunction"]

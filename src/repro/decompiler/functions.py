@@ -1,0 +1,82 @@
+"""Public-function discovery from decompiled bytecode.
+
+Recovers the ABI dispatcher structure: blocks comparing the 4-byte calldata
+selector against constants and conditionally jumping to per-function entry
+blocks.  Ethainter-Kill uses this to find public entry points that reach a
+flagged statement, and the analysis uses it to attribute sinks to externally
+callable functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.ir.tac import TACProgram
+
+SELECTOR_MAX = (1 << 32) - 1
+
+
+@dataclass
+class PublicFunction:
+    """One dispatcher target: a selector and its entry block."""
+
+    selector: int
+    entry_block: str
+
+    def __str__(self) -> str:
+        return "0x%08x -> %s" % (self.selector, self.entry_block)
+
+
+def find_public_functions(program: TACProgram) -> List[PublicFunction]:
+    """Extract ``selector -> entry block`` pairs from the dispatcher.
+
+    Pattern matched: ``c = EQ(x, <const<=0xffffffff>)`` (either operand
+    order) used as the condition of a ``JUMPI`` whose target is constant.
+    """
+    defining = program.defining_statement()
+    found: List[PublicFunction] = []
+    seen: Set[int] = set()
+    for block in program.blocks.values():
+        for stmt in block.statements:
+            if stmt.opcode != "JUMPI" or len(stmt.uses) != 2:
+                continue
+            target_var, condition_var = stmt.uses
+            condition = defining.get(condition_var)
+            if condition is None or condition.opcode != "EQ":
+                continue
+            selector: Optional[int] = None
+            for operand in condition.uses:
+                value = program.const_value.get(operand)
+                if value is not None and value <= SELECTOR_MAX:
+                    selector = value
+            if selector is None or selector in seen:
+                continue
+            taken = block.taken_successor
+            if taken is None:
+                continue
+            seen.add(selector)
+            found.append(PublicFunction(selector=selector, entry_block=taken))
+    return found
+
+
+def blocks_reachable_from(program: TACProgram, start: str) -> Set[str]:
+    """All blocks reachable from ``start`` (inclusive)."""
+    seen: Set[str] = set()
+    stack = [start]
+    while stack:
+        block_id = stack.pop()
+        if block_id in seen or block_id not in program.blocks:
+            continue
+        seen.add(block_id)
+        stack.extend(program.blocks[block_id].successors)
+    return seen
+
+
+def function_of_block(program: TACProgram) -> Dict[str, Set[int]]:
+    """Map each block to the set of selectors whose entry reaches it."""
+    ownership: Dict[str, Set[int]] = {}
+    for public in find_public_functions(program):
+        for block_id in blocks_reachable_from(program, public.entry_block):
+            ownership.setdefault(block_id, set()).add(public.selector)
+    return ownership

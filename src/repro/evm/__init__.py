@@ -1,0 +1,39 @@
+"""EVM substrate: opcode table, assembler, disassembler, and interpreter.
+
+This package is a self-contained Ethereum Virtual Machine implementation,
+sufficient to execute the contracts produced by :mod:`repro.minisol` and to
+serve as the execution substrate for :mod:`repro.kill` (the Ethainter-Kill
+exploit tool) and the symbolic baseline in :mod:`repro.baselines.teether`.
+"""
+
+from repro.evm.opcodes import OPCODES, Opcode, opcode_by_name, opcode_by_value
+from repro.evm.disassembler import Instruction, disassemble
+from repro.evm.assembler import assemble
+from repro.evm.machine import (
+    CallContext,
+    ExecutionError,
+    ExecutionResult,
+    Machine,
+    OutOfGasError,
+    Revert,
+    StackUnderflowError,
+    TraceEntry,
+)
+
+__all__ = [
+    "OPCODES",
+    "Opcode",
+    "opcode_by_name",
+    "opcode_by_value",
+    "Instruction",
+    "disassemble",
+    "assemble",
+    "Machine",
+    "CallContext",
+    "ExecutionResult",
+    "ExecutionError",
+    "OutOfGasError",
+    "Revert",
+    "StackUnderflowError",
+    "TraceEntry",
+]

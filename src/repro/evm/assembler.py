@@ -1,0 +1,204 @@
+"""A two-pass EVM assembler with symbolic labels.
+
+The MiniSol code generator emits a list of :class:`AsmItem` values —
+mnemonics, push-immediates, label definitions, and label references — and the
+assembler resolves labels to byte offsets over (at most a few) sizing passes.
+
+Label references always assemble to a fixed-width ``PUSH2`` so that offsets
+remain stable once the layout converges; contracts larger than 64 KiB are not
+a concern for this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Union
+
+from repro.evm.opcodes import opcode_by_name
+
+
+class AssemblyError(Exception):
+    """Raised for malformed assembly input (unknown ops, duplicate labels)."""
+
+
+@dataclass(frozen=True)
+class Label:
+    """Defines a jump target; assembles to a ``JUMPDEST``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DataLabel:
+    """Defines a position label without emitting any bytes.
+
+    Used to reference embedded data (e.g. the runtime section of init code),
+    where a ``JUMPDEST`` byte would corrupt the payload.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """Pushes the byte offset of a :class:`Label`; assembles to ``PUSH2``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Push:
+    """Pushes a literal value using the smallest sufficient ``PUSHn``."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Op:
+    """A bare mnemonic with no immediate."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class RawBytes:
+    """Literal bytes spliced into the output (e.g. embedded runtime code)."""
+
+    data: bytes
+
+
+AsmItem = Union[Label, DataLabel, LabelRef, Push, Op, RawBytes]
+
+
+def _push_width(value: int) -> int:
+    """Byte width of the smallest PUSH that can hold ``value``."""
+    if value < 0:
+        raise AssemblyError("cannot push negative literal %d" % value)
+    width = (value.bit_length() + 7) // 8
+    return max(width, 1)
+
+
+def _item_size(item: AsmItem) -> int:
+    if isinstance(item, Label):
+        return 1  # JUMPDEST
+    if isinstance(item, DataLabel):
+        return 0
+    if isinstance(item, LabelRef):
+        return 3  # PUSH2 xx xx
+    if isinstance(item, Push):
+        return 1 + _push_width(item.value)
+    if isinstance(item, Op):
+        return 1 + opcode_by_name(item.name).immediate_size
+    if isinstance(item, RawBytes):
+        return len(item.data)
+    raise AssemblyError("unknown assembly item %r" % (item,))
+
+
+def layout(items: Sequence[AsmItem]) -> Dict[str, int]:
+    """Compute byte offsets for each label definition."""
+    offsets: Dict[str, int] = {}
+    position = 0
+    for item in items:
+        if isinstance(item, (Label, DataLabel)):
+            if item.name in offsets:
+                raise AssemblyError("duplicate label %r" % item.name)
+            offsets[item.name] = position
+        position += _item_size(item)
+    return offsets
+
+
+def assemble(items: Sequence[AsmItem]) -> bytes:
+    """Assemble ``items`` into bytecode, resolving labels."""
+    offsets = layout(items)
+    output = bytearray()
+    for item in items:
+        if isinstance(item, Label):
+            output.append(opcode_by_name("JUMPDEST").value)
+        elif isinstance(item, DataLabel):
+            pass
+        elif isinstance(item, LabelRef):
+            if item.name not in offsets:
+                raise AssemblyError("undefined label %r" % item.name)
+            output.append(opcode_by_name("PUSH2").value)
+            output.extend(offsets[item.name].to_bytes(2, "big"))
+        elif isinstance(item, Push):
+            width = _push_width(item.value)
+            if width > 32:
+                raise AssemblyError("push literal exceeds 32 bytes: %d" % item.value)
+            output.append(opcode_by_name("PUSH%d" % width).value)
+            output.extend(item.value.to_bytes(width, "big"))
+        elif isinstance(item, Op):
+            opcode = opcode_by_name(item.name)
+            if opcode.immediate_size:
+                raise AssemblyError(
+                    "use Push for %s, not a bare Op" % item.name
+                )
+            output.append(opcode.value)
+        elif isinstance(item, RawBytes):
+            output.extend(item.data)
+        else:
+            raise AssemblyError("unknown assembly item %r" % (item,))
+    return bytes(output)
+
+
+def init_code_for(runtime: bytes) -> bytes:
+    """Wrap runtime bytecode in a standard deployment (constructor) prelude.
+
+    The prelude copies the trailing runtime section to memory and returns it,
+    which is what the chain stores as the contract's code.
+    """
+    size = len(runtime)
+    # The prelude layout depends on its own size (the CODECOPY source offset),
+    # so assemble twice: once to measure, once with the real offset.
+    def prelude(offset: int) -> bytes:
+        return assemble(
+            [
+                Push(size),
+                Push(offset),
+                Push(0),
+                Op("CODECOPY"),
+                Push(size),
+                Push(0),
+                Op("RETURN"),
+            ]
+        )
+
+    guess = prelude(0)
+    body = prelude(len(guess))
+    while len(body) != len(guess):
+        guess = body
+        body = prelude(len(guess))
+    return body + runtime
+
+
+def parse_asm(text: str) -> List[AsmItem]:
+    """Parse a simple textual assembly syntax (used in tests and examples).
+
+    Syntax, one item per line (``;`` starts a comment)::
+
+        label:          define a label
+        @label          push a label's offset
+        PUSH 0x1234     push a literal (hex or decimal)
+        ADD             bare mnemonic
+    """
+    items: List[AsmItem] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(":"):
+            items.append(Label(line[:-1].strip()))
+            continue
+        if line.startswith("@"):
+            items.append(LabelRef(line[1:].strip()))
+            continue
+        parts = line.split()
+        if parts[0].upper() == "PUSH":
+            if len(parts) != 2:
+                raise AssemblyError("PUSH needs one literal: %r" % line)
+            items.append(Push(int(parts[1], 0)))
+            continue
+        if len(parts) != 1:
+            raise AssemblyError("unexpected operand in %r" % line)
+        items.append(Op(parts[0].upper()))
+    return items

@@ -1,0 +1,44 @@
+"""Hashing used consistently across the compiler, the VM, and the analysis.
+
+Real Ethereum uses keccak-256.  The standard library only ships the
+standardized SHA3-256 (different padding), which is an acceptable substitute
+here: the analysis treats ``HASH`` as an opaque collision-free function (paper
+§4.3), so all that matters is that the MiniSol code generator, the EVM
+interpreter's ``SHA3`` opcode, and ABI selector computation agree on one
+function.  This substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+WORD = 32
+UINT_MAX = (1 << 256) - 1
+
+
+def keccak(data: bytes) -> bytes:
+    """32-byte digest standing in for keccak-256."""
+    return hashlib.sha3_256(data).digest()
+
+
+def keccak_int(data: bytes) -> int:
+    """Digest as a 256-bit integer (the value SHA3 pushes on the stack)."""
+    return int.from_bytes(keccak(data), "big")
+
+
+def function_selector(signature: str) -> int:
+    """First 4 bytes of the hash of a function signature, as an int.
+
+    Mirrors Solidity's ABI dispatch: ``transfer(address,uint256)`` hashes to a
+    4-byte selector compared against the head of calldata.
+    """
+    return int.from_bytes(keccak(signature.encode("ascii"))[:4], "big")
+
+
+def mapping_slot(key: int, base_slot: int) -> int:
+    """Storage slot of ``mapping[key]`` for a mapping rooted at ``base_slot``.
+
+    Follows the Solidity layout: ``hash(pad32(key) ++ pad32(base_slot))``.
+    """
+    data = key.to_bytes(WORD, "big") + base_slot.to_bytes(WORD, "big")
+    return keccak_int(data)

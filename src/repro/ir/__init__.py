@@ -1,0 +1,13 @@
+"""Three-address-code IR shared by the decompiler and the analyses."""
+
+from repro.ir.tac import TACBlock, TACProgram, TACStatement
+from repro.ir.dominators import compute_dominators, dominance_frontier, immediate_dominators
+
+__all__ = [
+    "TACStatement",
+    "TACBlock",
+    "TACProgram",
+    "compute_dominators",
+    "immediate_dominators",
+    "dominance_frontier",
+]

@@ -1,0 +1,105 @@
+"""Dominator computation on block graphs.
+
+Used by the guard analysis: a ``require``-style branch guards exactly the
+blocks dominated by its protected successor.  The implementation is the
+classic iterative dataflow formulation (adequate for contract-sized CFGs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+
+def compute_dominators(
+    entry: str, successors: Mapping[str, Iterable[str]]
+) -> Dict[str, Set[str]]:
+    """Full dominator sets: ``dom[b]`` = blocks dominating ``b`` (incl. b).
+
+    Nodes unreachable from ``entry`` are omitted from the result.
+    """
+    # Collect reachable nodes.
+    reachable: List[str] = []
+    seen: Set[str] = set()
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        reachable.append(node)
+        stack.extend(successors.get(node, ()))
+
+    predecessors: Dict[str, Set[str]] = {node: set() for node in reachable}
+    for node in reachable:
+        for succ in successors.get(node, ()):
+            if succ in predecessors:
+                predecessors[succ].add(node)
+
+    all_nodes = set(reachable)
+    dom: Dict[str, Set[str]] = {node: set(all_nodes) for node in reachable}
+    dom[entry] = {entry}
+
+    changed = True
+    while changed:
+        changed = False
+        for node in reachable:
+            if node == entry:
+                continue
+            preds = predecessors[node]
+            if preds:
+                new_dom: Optional[Set[str]] = None
+                for pred in preds:
+                    new_dom = set(dom[pred]) if new_dom is None else new_dom & dom[pred]
+                assert new_dom is not None
+                new_dom.add(node)
+            else:
+                new_dom = {node}
+            if new_dom != dom[node]:
+                dom[node] = new_dom
+                changed = True
+    return dom
+
+
+def immediate_dominators(
+    entry: str, successors: Mapping[str, Iterable[str]]
+) -> Dict[str, Optional[str]]:
+    """Immediate dominator of each reachable node (``None`` for the entry)."""
+    dom = compute_dominators(entry, successors)
+    idom: Dict[str, Optional[str]] = {}
+    for node, dominators in dom.items():
+        if node == entry:
+            idom[node] = None
+            continue
+        strict = dominators - {node}
+        # The immediate dominator is the strict dominator that is itself
+        # dominated by every other strict dominator (the "closest" one).
+        best = None
+        for candidate in strict:
+            if all(other in dom[candidate] for other in strict):
+                best = candidate
+        idom[node] = best
+    return idom
+
+
+def dominance_frontier(
+    entry: str, successors: Mapping[str, Iterable[str]]
+) -> Dict[str, Set[str]]:
+    """Dominance frontier per node (standard definition)."""
+    dom = compute_dominators(entry, successors)
+    idom = immediate_dominators(entry, successors)
+    predecessors: Dict[str, Set[str]] = {node: set() for node in dom}
+    for node in dom:
+        for succ in successors.get(node, ()):
+            if succ in predecessors:
+                predecessors[succ].add(node)
+    frontier: Dict[str, Set[str]] = {node: set() for node in dom}
+    for node in dom:
+        preds = predecessors[node]
+        if len(preds) < 2:
+            continue
+        for pred in preds:
+            runner: Optional[str] = pred
+            while runner is not None and runner != idom.get(node):
+                frontier[runner].add(node)
+                runner = idom.get(runner)
+    return frontier

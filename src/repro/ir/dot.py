@@ -1,0 +1,74 @@
+"""Graphviz export of decompiled control-flow graphs.
+
+Produces ``.dot`` text for a :class:`~repro.ir.tac.TACProgram`, used by the
+CLI's ``decompile --dot`` flag and handy when debugging lifter output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.ir.tac import TACProgram
+
+_INTERESTING = {
+    "SELFDESTRUCT",
+    "DELEGATECALL",
+    "STATICCALL",
+    "CALL",
+    "SSTORE",
+    "SLOAD",
+    "CALLDATALOAD",
+    "CALLER",
+    "SHA3",
+    "JUMPI",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(
+    program: TACProgram,
+    highlight_statements: Optional[Set[str]] = None,
+    max_statements_per_block: int = 12,
+) -> str:
+    """Render the block graph as Graphviz dot.
+
+    ``highlight_statements`` (e.g. flagged statement ids) are marked in red.
+    Long blocks are elided past ``max_statements_per_block`` lines.
+    """
+    highlight = highlight_statements or set()
+    lines: List[str] = [
+        "digraph tac {",
+        '  node [shape=box, fontname="monospace", fontsize=9];',
+    ]
+    for block in program.blocks.values():
+        rows = []
+        shown = block.statements[:max_statements_per_block]
+        for stmt in shown:
+            marker = " (!)" if stmt.ident in highlight else ""
+            if stmt.opcode in _INTERESTING or stmt.ident in highlight:
+                rows.append(_escape(str(stmt)) + marker)
+        elided = len(block.statements) - len(shown)
+        header = "%s @0x%x (%d stmts)" % (block.ident, block.offset, len(block.statements))
+        body = "\\l".join([header] + rows)
+        if elided > 0:
+            body += "\\l... %d more" % elided
+        color = (
+            ', color=red, penwidth=2'
+            if any(stmt.ident in highlight for stmt in block.statements)
+            else ""
+        )
+        style = ', style=bold' if block.ident == program.entry else ""
+        lines.append('  "%s" [label="%s\\l"%s%s];' % (block.ident, body, color, style))
+    for block in program.blocks.values():
+        for successor in block.successors:
+            attributes = ""
+            if successor == block.taken_successor:
+                attributes = ' [label="T"]'
+            elif successor == block.fallthrough_successor:
+                attributes = ' [label="F"]'
+            lines.append('  "%s" -> "%s"%s;' % (block.ident, successor, attributes))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Functional three-address-code IR.
+
+This is the decompiled program representation the Ethainter analysis
+consumes, mirroring the "functional 3-address code" the paper obtains from
+the Gigahorse toolchain (§5):
+
+* every value is a named variable, in SSA spirit: each variable has exactly
+  one defining statement (``PHI`` statements merge values at block entries),
+* statements carry their originating bytecode offset so results can be mapped
+  back to code locations,
+* constant values are materialized by ``CONST`` statements and recorded in
+  :attr:`TACProgram.const_value`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass
+class TACStatement:
+    """One TAC statement: ``defs = opcode(uses)``.
+
+    ``opcode`` is an EVM mnemonic, ``CONST`` (literal materialization), or
+    ``PHI`` (block-entry merge).  ``pc`` is the bytecode offset (-1 for
+    synthetic statements such as PHIs).
+    """
+
+    ident: str
+    opcode: str
+    defs: List[str] = field(default_factory=list)
+    uses: List[str] = field(default_factory=list)
+    pc: int = -1
+    block: str = ""
+
+    @property
+    def def_var(self) -> Optional[str]:
+        return self.defs[0] if self.defs else None
+
+    def __str__(self) -> str:
+        lhs = ", ".join(self.defs)
+        rhs = "%s(%s)" % (self.opcode, ", ".join(self.uses))
+        return "%s = %s" % (lhs, rhs) if lhs else rhs
+
+
+@dataclass
+class TACBlock:
+    """A basic block of TAC statements."""
+
+    ident: str
+    offset: int  # bytecode offset of the original block
+    statements: List[TACStatement] = field(default_factory=list)
+    successors: List[str] = field(default_factory=list)
+    predecessors: List[str] = field(default_factory=list)
+    # For blocks ending in JUMPI: which successor is the taken branch and
+    # which is the fall-through (used by the guard analysis).
+    taken_successor: Optional[str] = None
+    fallthrough_successor: Optional[str] = None
+
+    def __iter__(self) -> Iterator[TACStatement]:
+        return iter(self.statements)
+
+
+@dataclass
+class TACProgram:
+    """A decompiled contract: blocks, constants, and convenience indexes."""
+
+    blocks: Dict[str, TACBlock] = field(default_factory=dict)
+    entry: str = ""
+    const_value: Dict[str, int] = field(default_factory=dict)
+    # Public-function metadata discovered from the dispatcher.
+    selector_targets: Dict[int, str] = field(default_factory=dict)  # selector -> block id
+    unresolved_jumps: List[str] = field(default_factory=list)  # statement ids
+
+    # ------------------------------------------------------------- indexes
+
+    def statements(self) -> Iterator[TACStatement]:
+        for block in self.blocks.values():
+            yield from block.statements
+
+    def statements_by_opcode(self, *opcodes: str) -> List[TACStatement]:
+        wanted = set(opcodes)
+        return [s for s in self.statements() if s.opcode in wanted]
+
+    def defining_statement(self) -> Dict[str, TACStatement]:
+        """Map each variable to the unique statement defining it."""
+        defined: Dict[str, TACStatement] = {}
+        for stmt in self.statements():
+            for var in stmt.defs:
+                defined[var] = stmt
+        return defined
+
+    def uses_of(self) -> Dict[str, List[TACStatement]]:
+        """Map each variable to the statements using it."""
+        index: Dict[str, List[TACStatement]] = {}
+        for stmt in self.statements():
+            for var in stmt.uses:
+                index.setdefault(var, []).append(stmt)
+        return index
+
+    def block_of(self, statement_id: str) -> Optional[TACBlock]:
+        for block in self.blocks.values():
+            for stmt in block.statements:
+                if stmt.ident == statement_id:
+                    return block
+        return None
+
+    def edges(self) -> List[Tuple[str, str]]:
+        return [
+            (block.ident, successor)
+            for block in self.blocks.values()
+            for successor in block.successors
+        ]
+
+    def variables(self) -> Set[str]:
+        names: Set[str] = set()
+        for stmt in self.statements():
+            names.update(stmt.defs)
+            names.update(stmt.uses)
+        return names
+
+    def __str__(self) -> str:
+        lines: List[str] = []
+        for ident in sorted(self.blocks, key=lambda b: self.blocks[b].offset):
+            block = self.blocks[ident]
+            lines.append(
+                "block %s (0x%x) -> [%s]"
+                % (ident, block.offset, ", ".join(block.successors))
+            )
+            for stmt in block.statements:
+                suffix = ""
+                if stmt.opcode == "CONST" and stmt.def_var in self.const_value:
+                    suffix = "  ; 0x%x" % self.const_value[stmt.def_var]
+                lines.append("    %s%s" % (stmt, suffix))
+        return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Ethainter-Kill: automatic end-to-end exploitation of flagged contracts.
+
+Reproduces the companion tool of paper §6.1: it reads Ethainter's analysis
+output, builds a transaction sequence that escalates through the compromised
+guards (the composite attack), executes it against the local chain
+simulator, and verifies destruction by checking the VM instruction trace for
+an executed ``SELFDESTRUCT`` opcode — exactly the success criterion the
+paper uses on its Ropsten fork.
+"""
+
+from repro.kill.killer import EthainterKill, KillOutcome, KillReport
+
+__all__ = ["EthainterKill", "KillOutcome", "KillReport"]

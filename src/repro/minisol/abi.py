@@ -1,0 +1,36 @@
+"""Minimal ABI encoding for MiniSol contracts.
+
+All MiniSol types (``uint256``, ``address``, ``bool``) occupy one 32-byte
+word, so encoding is: 4-byte selector followed by one padded word per
+argument.  This matches what the compiled dispatcher decodes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.evm.hashing import UINT_MAX, function_selector
+
+
+def encode_word(value: int) -> bytes:
+    """One 32-byte big-endian word."""
+    return (value & UINT_MAX).to_bytes(32, "big")
+
+
+def encode_args(args: Sequence[int]) -> bytes:
+    """Concatenated 32-byte words, one per argument."""
+    return b"".join(encode_word(arg) for arg in args)
+
+
+def encode_call(signature: str, *args: int) -> bytes:
+    """Calldata for ``signature`` (e.g. ``"transfer(address,uint256)"``)."""
+    selector = function_selector(signature).to_bytes(4, "big")
+    return selector + encode_args(args)
+
+
+def decode_word(data: bytes, index: int = 0) -> int:
+    """Decode the ``index``-th 32-byte word of return data (0 if absent)."""
+    chunk = data[index * 32 : index * 32 + 32]
+    if not chunk:
+        return 0
+    return int.from_bytes(chunk.ljust(32, b"\x00"), "big")

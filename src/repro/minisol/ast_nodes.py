@@ -1,0 +1,311 @@
+"""Abstract syntax tree for MiniSol.
+
+Every node carries the source line it came from for error reporting.  Types
+are represented by :class:`Type` (elementary) and :class:`MappingType`
+(possibly nested mappings, as in ``mapping(address => mapping(address =>
+uint256))``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+
+# --------------------------------------------------------------------- types
+
+
+@dataclass(frozen=True)
+class Type:
+    """An elementary type: ``uint256``, ``address``, or ``bool``."""
+
+    name: str  # "uint256" | "address" | "bool"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MappingType:
+    """A ``mapping(key => value)`` type; values may themselves be mappings."""
+
+    key: Type
+    value: "TypeLike"
+
+    def __str__(self) -> str:
+        return "mapping(%s => %s)" % (self.key, self.value)
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """A fixed-size array ``elem[N]``: N consecutive storage slots.
+
+    Element addresses are plain slot arithmetic (``base + index``), the
+    pattern rule StorageWrite-2 exists for: an unchecked tainted index
+    reaches *any* slot."""
+
+    element: Type
+    size: int
+
+    def __str__(self) -> str:
+        return "%s[%d]" % (self.element, self.size)
+
+
+TypeLike = Union[Type, MappingType, ArrayType]
+
+UINT = Type("uint256")
+ADDRESS = Type("address")
+BOOL = Type("bool")
+
+
+# --------------------------------------------------------------- expressions
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class NumberLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class BoolLiteral(Expr):
+    value: bool = False
+
+
+@dataclass
+class Identifier(Expr):
+    name: str = ""
+
+
+@dataclass
+class MsgSender(Expr):
+    pass
+
+
+@dataclass
+class MsgValue(Expr):
+    pass
+
+
+@dataclass
+class ThisExpr(Expr):
+    """``this`` — the executing contract's own address."""
+
+
+@dataclass
+class IndexAccess(Expr):
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class CallExpr(Expr):
+    """A call of an internal function or of a builtin (see codegen.BUILTINS)."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class ExternalCall(Expr):
+    """ABI-encoded external call: ``call(target, "sig(types)", args...)``.
+
+    ``kind`` selects the EVM call instruction: ``"call"`` (default) or
+    ``"delegatecall"`` — the latter written
+    ``delegatecall(target, "sig(types)", args...)`` and used by
+    proxy/library patterns (the Parity wallet shape).
+    """
+
+    target: Expr = None  # type: ignore[assignment]
+    signature: str = ""
+    args: List[Expr] = field(default_factory=list)
+    value: Optional[Expr] = None
+    kind: str = "call"
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    var_type: Type = None  # type: ignore[assignment]
+    name: str = ""
+    initializer: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``lvalue op value`` where op is ``=``, ``+=``, or ``-=``."""
+
+    target: Expr = None  # type: ignore[assignment]  # Identifier or IndexAccess
+    value: Expr = None  # type: ignore[assignment]
+    op: str = "="
+
+
+@dataclass
+class If(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    then_branch: Stmt = None  # type: ignore[assignment]
+    else_branch: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+    body: Stmt = None  # type: ignore[assignment]
+
+
+@dataclass
+class Require(Stmt):
+    condition: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Placeholder(Stmt):
+    """The ``_;`` statement inside a modifier body."""
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------- definitions
+
+
+@dataclass
+class Param:
+    param_type: Type
+    name: str
+
+
+@dataclass
+class EventDef:
+    """``event Name(type name, ...);`` — compiled to a LOG1 topic."""
+
+    name: str
+    params: List["Param"]
+    line: int = 0
+
+    @property
+    def signature(self) -> str:
+        return "%s(%s)" % (self.name, ",".join(p.param_type.name for p in self.params))
+
+
+@dataclass
+class Emit(Stmt):
+    """``emit Name(args);`` — logs the event's topic plus ABI-encoded args."""
+
+    name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class StateVarDef:
+    var_type: TypeLike
+    name: str
+    line: int = 0
+    initializer: Optional[Expr] = None
+    slot: int = -1  # assigned by the checker
+
+
+@dataclass
+class ModifierDef:
+    name: str
+    params: List[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class ModifierInvocation:
+    name: str
+    args: List[Expr] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class FunctionDef:
+    name: str
+    params: List[Param]
+    body: Block
+    visibility: str = "public"  # public | private | internal | external
+    modifiers: List[ModifierInvocation] = field(default_factory=list)
+    return_type: Optional[Type] = None
+    is_constructor: bool = False
+    line: int = 0
+
+    @property
+    def is_public(self) -> bool:
+        return self.visibility in ("public", "external")
+
+    @property
+    def signature(self) -> str:
+        """ABI signature, e.g. ``transfer(address,uint256)``."""
+        return "%s(%s)" % (self.name, ",".join(p.param_type.name for p in self.params))
+
+
+@dataclass
+class Contract:
+    name: str
+    state_vars: List[StateVarDef] = field(default_factory=list)
+    events: List[EventDef] = field(default_factory=list)
+    modifiers: List[ModifierDef] = field(default_factory=list)
+    functions: List[FunctionDef] = field(default_factory=list)
+    constructor: Optional[FunctionDef] = None
+    line: int = 0
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)
+
+    def state_var(self, name: str) -> StateVarDef:
+        for var in self.state_vars:
+            if var.name == name:
+                return var
+        raise KeyError(name)
+
+
+@dataclass
+class Program:
+    contracts: List[Contract] = field(default_factory=list)
+
+    def contract(self, name: str) -> Contract:
+        for contract in self.contracts:
+            if contract.name == name:
+                return contract
+        raise KeyError(name)

@@ -1,0 +1,146 @@
+"""MiniSol source formatter: AST -> canonical source text.
+
+Used for diagnostics (printing inlined/transformed ASTs) and as a parser
+round-trip oracle in the test suite: ``parse(format(parse(src)))`` must
+produce a structurally identical AST.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.minisol import ast_nodes as ast
+
+INDENT = "    "
+
+
+def format_program(program: ast.Program) -> str:
+    """Format a whole program (all contracts)."""
+    return "\n".join(format_contract(contract) for contract in program.contracts)
+
+
+def format_contract(contract: ast.Contract) -> str:
+    """Format one contract definition."""
+    lines: List[str] = ["contract %s {" % contract.name]
+    for var in contract.state_vars:
+        initializer = (
+            " = %s" % format_expr(var.initializer) if var.initializer else ""
+        )
+        lines.append(INDENT + "%s %s%s;" % (var.var_type, var.name, initializer))
+    for event in contract.events:
+        params = ", ".join("%s %s" % (p.param_type, p.name) for p in event.params)
+        lines.append(INDENT + "event %s(%s);" % (event.name, params))
+    for modifier in contract.modifiers:
+        params = ", ".join("%s %s" % (p.param_type, p.name) for p in modifier.params)
+        lines.append(INDENT + "modifier %s(%s)" % (modifier.name, params))
+        lines.extend(_format_block(modifier.body, 1))
+    if contract.constructor is not None:
+        params = ", ".join(
+            "%s %s" % (p.param_type, p.name) for p in contract.constructor.params
+        )
+        lines.append(INDENT + "constructor(%s)" % params)
+        lines.extend(_format_block(contract.constructor.body, 1))
+    for fn in contract.functions:
+        params = ", ".join("%s %s" % (p.param_type, p.name) for p in fn.params)
+        header = INDENT + "function %s(%s) %s" % (fn.name, params, fn.visibility)
+        for invocation in fn.modifiers:
+            if invocation.args:
+                header += " %s(%s)" % (
+                    invocation.name,
+                    ", ".join(format_expr(a) for a in invocation.args),
+                )
+            else:
+                header += " " + invocation.name
+        if fn.return_type is not None:
+            header += " returns (%s)" % fn.return_type
+        lines.append(header)
+        lines.extend(_format_block(fn.body, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _format_block(block: ast.Block, depth: int) -> List[str]:
+    lines = [INDENT * depth + "{"]
+    for stmt in block.statements:
+        lines.extend(format_stmt(stmt, depth + 1))
+    lines.append(INDENT * depth + "}")
+    return lines
+
+
+def format_stmt(stmt: ast.Stmt, depth: int = 0) -> List[str]:
+    """Format one statement as indented source lines."""
+    pad = INDENT * depth
+    if isinstance(stmt, ast.Block):
+        return _format_block(stmt, depth)
+    if isinstance(stmt, ast.VarDecl):
+        initializer = (
+            " = %s" % format_expr(stmt.initializer) if stmt.initializer else ""
+        )
+        return [pad + "%s %s%s;" % (stmt.var_type, stmt.name, initializer)]
+    if isinstance(stmt, ast.Assign):
+        return [
+            pad
+            + "%s %s %s;" % (format_expr(stmt.target), stmt.op, format_expr(stmt.value))
+        ]
+    if isinstance(stmt, ast.If):
+        lines = [pad + "if (%s)" % format_expr(stmt.condition)]
+        lines.extend(format_stmt(stmt.then_branch, depth))
+        if stmt.else_branch is not None:
+            lines.append(pad + "else")
+            lines.extend(format_stmt(stmt.else_branch, depth))
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [pad + "while (%s)" % format_expr(stmt.condition)]
+        lines.extend(format_stmt(stmt.body, depth))
+        return lines
+    if isinstance(stmt, ast.Require):
+        return [pad + "require(%s);" % format_expr(stmt.condition)]
+    if isinstance(stmt, ast.Emit):
+        return [
+            pad
+            + "emit %s(%s);" % (stmt.name, ", ".join(format_expr(a) for a in stmt.args))
+        ]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [pad + "return;"]
+        return [pad + "return %s;" % format_expr(stmt.value)]
+    if isinstance(stmt, ast.Placeholder):
+        return [pad + "_;"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [pad + "%s;" % format_expr(stmt.expr)]
+    raise TypeError("cannot format %r" % stmt)
+
+
+def format_expr(expr: ast.Expr) -> str:
+    """Format one expression (fully parenthesized)."""
+    if isinstance(expr, ast.NumberLiteral):
+        return str(expr.value)
+    if isinstance(expr, ast.BoolLiteral):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.Identifier):
+        return expr.name
+    if isinstance(expr, ast.MsgSender):
+        return "msg.sender"
+    if isinstance(expr, ast.MsgValue):
+        return "msg.value"
+    if isinstance(expr, ast.ThisExpr):
+        return "this"
+    if isinstance(expr, ast.IndexAccess):
+        return "%s[%s]" % (format_expr(expr.base), format_expr(expr.index))
+    if isinstance(expr, ast.BinaryOp):
+        return "(%s %s %s)" % (format_expr(expr.left), expr.op, format_expr(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return "(%s%s)" % (expr.op, format_expr(expr.operand))
+    if isinstance(expr, ast.CallExpr):
+        return "%s(%s)" % (expr.name, ", ".join(format_expr(a) for a in expr.args))
+    if isinstance(expr, ast.ExternalCall):
+        head = "delegatecall" if expr.kind == "delegatecall" else "call"
+        parts = [format_expr(expr.target), '"%s"' % expr.signature]
+        if expr.value is not None:
+            head = "callvalue_to"
+            parts.insert(1, format_expr(expr.value))
+            parts[1], parts[2] = parts[2], parts[1]  # target, value, "sig"
+            parts = [format_expr(expr.target), format_expr(expr.value), '"%s"' % expr.signature]
+        parts.extend(format_expr(a) for a in expr.args)
+        return "%s(%s)" % (head, ", ".join(parts))
+    raise TypeError("cannot format %r" % expr)

@@ -1,0 +1,117 @@
+"""Shared fixtures: canonical contracts compiled once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.minisol import compile_source
+
+VICTIM_SOURCE = """
+contract Victim {
+    mapping(address => bool) admins;
+    mapping(address => bool) users;
+    address owner;
+
+    modifier onlyAdmins() { require(admins[msg.sender]); _; }
+    modifier onlyUsers() { require(users[msg.sender]); _; }
+
+    function registerSelf() public { users[msg.sender] = true; }
+    function referUser(address user) public onlyUsers { users[user] = true; }
+    function referAdmin(address adm) public onlyUsers { admins[adm] = true; }
+    function changeOwner(address o) public onlyAdmins { owner = o; }
+    function kill() public onlyAdmins { selfdestruct(owner); }
+}
+"""
+
+SAFE_OWNED_SOURCE = """
+contract Safe {
+    address owner;
+    constructor() { owner = msg.sender; }
+    function setOwner(address o) public { require(msg.sender == owner); owner = o; }
+    function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+}
+"""
+
+TAINTED_OWNER_SOURCE = """
+contract TaintedOwner {
+    address owner;
+    function initOwner(address o) public { owner = o; }
+    function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+}
+"""
+
+OPEN_KILL_SOURCE = """
+contract OpenKill {
+    address beneficiary;
+    constructor() { beneficiary = msg.sender; }
+    function kill() public { selfdestruct(beneficiary); }
+}
+"""
+
+TOKEN_SOURCE = """
+contract Token {
+    mapping(address => uint256) balances;
+    address owner;
+    constructor() { owner = msg.sender; balances[msg.sender] = 1000000; }
+    function transfer(address to, uint256 value) public {
+        require(balances[msg.sender] >= value);
+        balances[to] += value;
+        balances[msg.sender] -= value;
+    }
+    function kill() public { require(msg.sender == owner); selfdestruct(owner); }
+}
+"""
+
+DELEGATE_SOURCE = """
+contract Migrator {
+    function migrate(address target) public { delegatecall(target); }
+}
+"""
+
+TAINTED_SD_STORAGE_SOURCE = """
+contract AdminPayout {
+    address owner;
+    address administrator;
+    constructor() { owner = msg.sender; }
+    function initAdmin(address admin) public { administrator = admin; }
+    function close() public {
+        require(msg.sender == owner);
+        selfdestruct(administrator);
+    }
+}
+"""
+
+
+@pytest.fixture(scope="session")
+def victim_contract():
+    return compile_source(VICTIM_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def safe_contract():
+    return compile_source(SAFE_OWNED_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def tainted_owner_contract():
+    return compile_source(TAINTED_OWNER_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def open_kill_contract():
+    return compile_source(OPEN_KILL_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def token_contract():
+    return compile_source(TOKEN_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def delegate_contract():
+    return compile_source(DELEGATE_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def tainted_sd_storage_contract():
+    return compile_source(TAINTED_SD_STORAGE_SOURCE)

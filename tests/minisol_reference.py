@@ -1,0 +1,203 @@
+"""A reference interpreter for a MiniSol subset, used in differential tests.
+
+Executes function bodies directly over the AST with Python semantics
+matching the EVM's (256-bit wrapping arithmetic, zero-on-division-by-zero,
+non-short-circuit logic).  The property tests compile the same source to
+EVM bytecode, run it on the VM, and require identical results — a
+whole-compiler differential oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.minisol import ast_nodes as ast
+from repro.minisol.checker import check
+from repro.minisol.parser import parse
+
+WORD = (1 << 256) - 1
+
+
+class RequireFailed(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: int):
+        self.value = value
+
+
+class ReferenceContract:
+    """Interprets one contract's functions against a dict-based state."""
+
+    def __init__(self, source: str, sender: int = 0xCA11, callvalue: int = 0):
+        self.program = check(parse(source))
+        self.contract = self.program.contracts[0]
+        self.sender = sender
+        self.callvalue = callvalue
+        # State: scalar name -> value; mapping name -> {key tuple: value}.
+        self.state: Dict[str, object] = {}
+        for var in self.contract.state_vars:
+            if isinstance(var.var_type, (ast.MappingType, ast.ArrayType)):
+                self.state[var.name] = {}
+            else:
+                self.state[var.name] = (
+                    self._eval(var.initializer, {}) if var.initializer else 0
+                )
+        if self.contract.constructor is not None:
+            self.call("constructor", [])
+
+    # ----------------------------------------------------------------- API
+
+    def call(self, name: str, args: List[int]) -> Optional[int]:
+        if name == "constructor":
+            fn = self.contract.constructor
+        else:
+            fn = self.contract.function(name)
+        local_env = {param.name: value & WORD for param, value in zip(fn.params, args)}
+        body = self._with_modifiers(fn)
+        try:
+            self._exec_block(body, local_env)
+        except _Return as ret:
+            return ret.value
+        return 0
+
+    def _with_modifiers(self, fn: ast.FunctionDef) -> ast.Block:
+        from repro.minisol.codegen import _ModifierInliner
+        import copy
+
+        inliner = _ModifierInliner(self.contract)
+        return inliner.effective_body(copy.deepcopy(fn))
+
+    # ----------------------------------------------------------- execution
+
+    def _exec_block(self, block: ast.Block, env: Dict[str, int]) -> None:
+        for stmt in block.statements:
+            self._exec(stmt, env)
+
+    def _exec(self, stmt: ast.Stmt, env: Dict[str, int]) -> None:
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, env)
+        elif isinstance(stmt, ast.VarDecl):
+            env[stmt.name] = (
+                self._eval(stmt.initializer, env) if stmt.initializer else 0
+            )
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            if stmt.op == "+=":
+                value = (self._eval(stmt.target, env) + value) & WORD
+            elif stmt.op == "-=":
+                value = (self._eval(stmt.target, env) - value) & WORD
+            self._store(stmt.target, value, env)
+        elif isinstance(stmt, ast.If):
+            if self._eval(stmt.condition, env):
+                self._exec(stmt.then_branch, env)
+            elif stmt.else_branch is not None:
+                self._exec(stmt.else_branch, env)
+        elif isinstance(stmt, ast.While):
+            iterations = 0
+            while self._eval(stmt.condition, env):
+                self._exec(stmt.body, env)
+                iterations += 1
+                if iterations > 100_000:
+                    raise RuntimeError("reference interpreter loop bound")
+        elif isinstance(stmt, ast.Require):
+            if not self._eval(stmt.condition, env):
+                raise RequireFailed()
+        elif isinstance(stmt, ast.Return):
+            raise _Return(self._eval(stmt.value, env) if stmt.value else 0)
+        elif isinstance(stmt, ast.Emit):
+            for arg in stmt.args:
+                self._eval(arg, env)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, env)
+        else:
+            raise NotImplementedError(type(stmt).__name__)
+
+    def _store(self, target: ast.Expr, value: int, env: Dict[str, int]) -> None:
+        value &= WORD
+        if isinstance(target, ast.Identifier):
+            if target.name in env:
+                env[target.name] = value
+            else:
+                self.state[target.name] = value
+            return
+        if isinstance(target, ast.IndexAccess):
+            keys: List[int] = []
+            base = target
+            while isinstance(base, ast.IndexAccess):
+                keys.append(self._eval(base.index, env))
+                base = base.base
+            keys.reverse()
+            mapping = self.state[base.name]
+            mapping[tuple(keys)] = value
+            return
+        raise NotImplementedError(type(target).__name__)
+
+    # ---------------------------------------------------------- expressions
+
+    def _eval(self, expr: ast.Expr, env: Dict[str, int]) -> int:
+        if isinstance(expr, ast.NumberLiteral):
+            return expr.value & WORD
+        if isinstance(expr, ast.BoolLiteral):
+            return 1 if expr.value else 0
+        if isinstance(expr, ast.MsgSender):
+            return self.sender
+        if isinstance(expr, ast.MsgValue):
+            return self.callvalue
+        if isinstance(expr, ast.Identifier):
+            if expr.name in env:
+                return env[expr.name]
+            return self.state[expr.name]  # type: ignore[return-value]
+        if isinstance(expr, ast.IndexAccess):
+            keys: List[int] = []
+            base = expr
+            while isinstance(base, ast.IndexAccess):
+                keys.append(self._eval(base.index, env))
+                base = base.base
+            keys.reverse()
+            mapping = self.state[base.name]
+            return mapping.get(tuple(keys), 0)  # type: ignore[union-attr]
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._eval(expr.operand, env)
+            if expr.op == "!":
+                return 0 if operand else 1
+            if expr.op == "-":
+                return (-operand) & WORD
+        if isinstance(expr, ast.BinaryOp):
+            left = self._eval(expr.left, env)
+            right = self._eval(expr.right, env)
+            op = expr.op
+            if op == "+":
+                return (left + right) & WORD
+            if op == "-":
+                return (left - right) & WORD
+            if op == "*":
+                return (left * right) & WORD
+            if op == "/":
+                return 0 if right == 0 else left // right
+            if op == "%":
+                return 0 if right == 0 else left % right
+            if op == "==":
+                return int(left == right)
+            if op == "!=":
+                return int(left != right)
+            if op == "<":
+                return int(left < right)
+            if op == ">":
+                return int(left > right)
+            if op == "<=":
+                return int(left <= right)
+            if op == ">=":
+                return int(left >= right)
+            if op == "&&":
+                return int(bool(left) and bool(right))
+            if op == "||":
+                return int(bool(left) or bool(right))
+        if isinstance(expr, ast.CallExpr):
+            fn = next(
+                (f for f in self.contract.functions if f.name == expr.name), None
+            )
+            if fn is not None:
+                return self.call(fn.name, [self._eval(a, env) for a in expr.args]) or 0
+        raise NotImplementedError(type(expr).__name__)

@@ -1,0 +1,52 @@
+"""ABI encoding helpers."""
+
+from hypothesis import given, strategies as st
+
+from repro.evm.hashing import UINT_MAX, function_selector, keccak, mapping_slot
+from repro.minisol.abi import decode_word, encode_args, encode_call, encode_word
+
+
+class TestEncoding:
+    def test_encode_word_width(self):
+        assert len(encode_word(1)) == 32
+        assert encode_word(0x1234)[-2:] == b"\x12\x34"
+
+    def test_encode_word_wraps(self):
+        assert encode_word(UINT_MAX + 2) == encode_word(1)
+
+    def test_encode_args_concatenates(self):
+        assert encode_args([1, 2]) == encode_word(1) + encode_word(2)
+
+    def test_encode_call_layout(self):
+        data = encode_call("transfer(address,uint256)", 0xAB, 5)
+        assert len(data) == 4 + 64
+        assert data[:4] == keccak(b"transfer(address,uint256)")[:4]
+
+    @given(st.integers(0, UINT_MAX), st.integers(0, 3))
+    def test_decode_roundtrip(self, value, index):
+        data = encode_args([0, 0, 0, 0])
+        data = data[: index * 32] + encode_word(value) + data[(index + 1) * 32 :]
+        assert decode_word(data, index) == value
+
+    def test_decode_missing_word_is_zero(self):
+        assert decode_word(b"", 0) == 0
+        assert decode_word(encode_word(5), 3) == 0
+
+    def test_decode_short_data_padded(self):
+        assert decode_word(b"\x01", 0) == 1 << 248
+
+
+class TestHashing:
+    def test_selector_width(self):
+        assert 0 <= function_selector("f()") < (1 << 32)
+
+    def test_selector_distinct(self):
+        assert function_selector("kill()") != function_selector("kill(address)")
+
+    @given(st.integers(0, UINT_MAX), st.integers(0, 100))
+    def test_mapping_slot_deterministic(self, key, base):
+        assert mapping_slot(key, base) == mapping_slot(key, base)
+
+    def test_mapping_slot_depends_on_both_inputs(self):
+        assert mapping_slot(1, 0) != mapping_slot(2, 0)
+        assert mapping_slot(1, 0) != mapping_slot(1, 1)

@@ -1,0 +1,94 @@
+"""Securify baseline: high flag rate, documented imprecision sources."""
+
+from repro.baselines import SecurifyAnalysis
+from repro.baselines.securify import MISSING_INPUT_VALIDATION, UNRESTRICTED_WRITE
+from repro.minisol import compile_source
+
+
+def analyze(source, name=None):
+    return SecurifyAnalysis().analyze(compile_source(source, name).runtime)
+
+
+class TestUnrestrictedWrite:
+    def test_mapping_write_flagged(self, token_contract):
+        """The paper's §6.2 example: balances[to] += value looks like an
+        unrestricted write because mappings are just pointer arithmetic."""
+        result = SecurifyAnalysis().analyze(token_contract.runtime)
+        assert UNRESTRICTED_WRITE in result.patterns()
+
+    def test_scalar_write_with_sender_check_clean(self):
+        result = analyze(
+            """
+contract C {
+    address owner;
+    uint256 x;
+    constructor() { owner = msg.sender; }
+    function f(uint256 v) public { require(msg.sender == owner); x = v; }
+}
+"""
+        )
+        assert UNRESTRICTED_WRITE not in result.patterns()
+
+    def test_scalar_write_without_any_sender_check_flagged(self):
+        result = analyze(
+            "contract C { uint256 x; function f(uint256 v) public { x = v; } }"
+        )
+        assert UNRESTRICTED_WRITE in result.patterns()
+
+
+class TestMissingInputValidation:
+    def test_unvalidated_mapping_key_flagged(self):
+        result = analyze(
+            """
+contract C {
+    mapping(address => uint256) data;
+    function put(address k, uint256 v) public { data[k] = v; }
+}
+"""
+        )
+        assert MISSING_INPUT_VALIDATION in result.patterns()
+
+    def test_equality_validated_input_clean(self):
+        result = analyze(
+            """
+contract C {
+    mapping(address => uint256) data;
+    address boss;
+    constructor() { boss = msg.sender; }
+    function put(address k) public {
+        require(k == boss);
+        data[k] = 1;
+    }
+}
+"""
+        )
+        assert MISSING_INPUT_VALIDATION not in result.patterns()
+
+    def test_range_check_not_understood(self, token_contract):
+        """LT/GT checks don't count as validation — the imprecision the
+        paper dissects."""
+        result = SecurifyAnalysis().analyze(token_contract.runtime)
+        assert MISSING_INPUT_VALIDATION in result.patterns()
+
+
+class TestCharacter:
+    def test_no_composite_reasoning_misses_nothing_but_overapproximates(
+        self, victim_contract, safe_contract
+    ):
+        flagged_victim = SecurifyAnalysis().analyze(victim_contract.runtime)
+        flagged_safe = SecurifyAnalysis().analyze(safe_contract.runtime)
+        assert flagged_victim.flagged  # vulnerable contract flagged...
+        # ...but so are plenty of safe mapping-using contracts (measured at
+        # corpus level in the benchmarks).
+
+    def test_violations_carry_locations(self, token_contract):
+        result = SecurifyAnalysis().analyze(token_contract.runtime)
+        assert all(v.pc >= 0 for v in result.violations)
+
+    def test_junk_bytecode_reports_error(self):
+        result = SecurifyAnalysis().analyze(b"\xfe" * 10)
+        assert result.error == "" and not result.flagged or result.error
+
+    def test_empty_contract_clean(self):
+        result = analyze("contract C { function f() public { } }")
+        assert not result.flagged

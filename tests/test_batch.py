@@ -1,0 +1,59 @@
+"""Parallel batch analysis."""
+
+import pytest
+
+from repro.core import AnalysisConfig
+from repro.core.batch import analyze_many
+from repro.corpus import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return generate_corpus(24, seed=13)
+
+
+class TestSequential:
+    def test_entries_ordered_and_complete(self, small_corpus):
+        summary = analyze_many([c.runtime for c in small_corpus], jobs=1)
+        assert summary.total == len(small_corpus)
+        assert [entry.index for entry in summary.entries] == list(range(len(small_corpus)))
+
+    def test_flag_counts_match_direct_analysis(self, small_corpus):
+        from repro.core import analyze_bytecode
+
+        summary = analyze_many([c.runtime for c in small_corpus], jobs=1)
+        for contract, entry in zip(small_corpus, summary.entries):
+            direct = analyze_bytecode(contract.runtime)
+            assert set(entry.kinds) == {w.kind for w in direct.warnings}
+
+    def test_config_respected(self, small_corpus):
+        default = analyze_many([c.runtime for c in small_corpus], jobs=1)
+        no_guards = analyze_many(
+            [c.runtime for c in small_corpus],
+            AnalysisConfig(model_guards=False),
+            jobs=1,
+        )
+        assert no_guards.flagged >= default.flagged
+
+    def test_kind_counts(self, small_corpus):
+        summary = analyze_many([c.runtime for c in small_corpus], jobs=1)
+        counts = summary.kind_counts()
+        assert sum(counts.values()) >= summary.flagged
+
+
+class TestParallel:
+    def test_parallel_matches_sequential(self, small_corpus):
+        bytecodes = [c.runtime for c in small_corpus]
+        sequential = analyze_many(bytecodes, jobs=1)
+        parallel = analyze_many(bytecodes, jobs=3)
+        assert [e.kinds for e in sequential.entries] == [
+            e.kinds for e in parallel.entries
+        ]
+
+    def test_empty_input(self):
+        summary = analyze_many([], jobs=4)
+        assert summary.total == 0
+
+    def test_single_contract_stays_in_process(self, small_corpus):
+        summary = analyze_many([small_corpus[0].runtime], jobs=8)
+        assert summary.total == 1

@@ -1,0 +1,139 @@
+"""Blockchain simulator: deployment, transactions, rollback, receipts."""
+
+import pytest
+
+from repro.chain import Blockchain, WorldState
+from repro.evm.assembler import Op, Push, assemble, init_code_for
+
+
+@pytest.fixture
+def chain():
+    chain = Blockchain()
+    chain.fund(0xA, 10**18)
+    return chain
+
+
+STORE_RUNTIME = assemble([Push(1), Push(0), Op("SSTORE"), Op("STOP")])
+
+
+class TestWorldState:
+    def test_fresh_account_defaults(self):
+        state = WorldState()
+        assert state.get_balance(0x1) == 0
+        assert state.get_code(0x1) == b""
+        assert state.get_storage(0x1, 0) == 0
+
+    def test_balance_set_get(self):
+        state = WorldState()
+        state.set_balance(0x1, 500)
+        assert state.get_balance(0x1) == 500
+
+    def test_storage_zero_deletes_key(self):
+        state = WorldState()
+        state.set_storage(0x1, 5, 9)
+        state.set_storage(0x1, 5, 0)
+        assert 5 not in state.account(0x1).storage
+
+    def test_snapshot_revert(self):
+        state = WorldState()
+        state.set_balance(0x1, 100)
+        token = state.snapshot()
+        state.set_balance(0x1, 999)
+        state.set_storage(0x1, 0, 42)
+        state.revert_to(token)
+        assert state.get_balance(0x1) == 100
+        assert state.get_storage(0x1, 0) == 0
+
+    def test_commit_drops_snapshots(self):
+        state = WorldState()
+        token = state.snapshot()
+        state.snapshot()
+        state.commit(token)
+        assert state._snapshots == []
+
+    def test_destroyed_account_reads_empty(self):
+        state = WorldState()
+        state.set_code(0x1, b"\x00")
+        state.set_storage(0x1, 0, 7)
+        state.mark_destroyed(0x1)
+        assert state.get_code(0x1) == b""
+        assert state.get_storage(0x1, 0) == 0
+        assert state.is_destroyed(0x1)
+
+    def test_contract_addresses_unique(self):
+        state = WorldState()
+        first = state.next_contract_address(0xA, None, b"")
+        second = state.next_contract_address(0xA, None, b"")
+        assert first != second
+        assert first < (1 << 160)
+
+
+class TestDeployment:
+    def test_deploy_stores_runtime(self, chain):
+        receipt = chain.deploy(0xA, init_code_for(STORE_RUNTIME))
+        assert receipt.success
+        assert chain.state.get_code(receipt.contract_address) == STORE_RUNTIME
+
+    def test_deploy_with_value_endows_contract(self, chain):
+        receipt = chain.deploy(0xA, init_code_for(STORE_RUNTIME), value=555)
+        assert chain.state.get_balance(receipt.contract_address) == 555
+
+    def test_failed_deploy_refunds(self, chain):
+        bad_init = assemble([Op("INVALID")])
+        before = chain.state.get_balance(0xA)
+        receipt = chain.deploy(0xA, bad_init, value=100)
+        assert not receipt.success
+        assert receipt.contract_address is None
+        assert chain.state.get_balance(0xA) == before
+
+    def test_insufficient_funds_rejected(self, chain):
+        receipt = chain.deploy(0xA, init_code_for(STORE_RUNTIME), value=10**19)
+        assert not receipt.success
+        assert receipt.error == "insufficient funds"
+
+
+class TestTransactions:
+    def test_transact_advances_block(self, chain):
+        target = chain.deploy(0xA, init_code_for(STORE_RUNTIME)).contract_address
+        start = chain.block_number
+        chain.transact(0xA, target)
+        assert chain.block_number == start + 1
+
+    def test_transact_mutates_storage(self, chain):
+        target = chain.deploy(0xA, init_code_for(STORE_RUNTIME)).contract_address
+        chain.transact(0xA, target)
+        assert chain.state.get_storage(target, 0) == 1
+
+    def test_failed_transact_refunds_value(self, chain):
+        reverter = chain.deploy(
+            0xA, init_code_for(assemble([Push(0), Push(0), Op("REVERT")]))
+        ).contract_address
+        before = chain.state.get_balance(0xA)
+        receipt = chain.transact(0xA, reverter, value=100)
+        assert not receipt.success
+        assert chain.state.get_balance(0xA) == before
+
+    def test_value_transfer_to_stop_contract(self, chain):
+        target = chain.deploy(0xA, init_code_for(assemble([Op("STOP")]))).contract_address
+        chain.transact(0xA, target, value=321)
+        assert chain.state.get_balance(target) == 321
+
+    def test_receipts_recorded(self, chain):
+        target = chain.deploy(0xA, init_code_for(STORE_RUNTIME)).contract_address
+        chain.transact(0xA, target)
+        assert len(chain.receipts) == 2
+        assert chain.receipts[-1].transaction.to == target
+
+
+class TestReadOnlyCall:
+    def test_call_does_not_mutate(self, chain):
+        target = chain.deploy(0xA, init_code_for(STORE_RUNTIME)).contract_address
+        result = chain.call(0xB, target)
+        assert result.success
+        assert chain.state.get_storage(target, 0) == 0
+
+    def test_call_returns_data(self, chain):
+        runtime = assemble([Push(0xAB), Push(0), Op("MSTORE"), Push(32), Push(0), Op("RETURN")])
+        target = chain.deploy(0xA, init_code_for(runtime)).contract_address
+        result = chain.call(0xB, target)
+        assert int.from_bytes(result.return_data, "big") == 0xAB

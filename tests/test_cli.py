@@ -1,0 +1,119 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from tests.conftest import OPEN_KILL_SOURCE, SAFE_OWNED_SOURCE, VICTIM_SOURCE
+
+
+@pytest.fixture
+def victim_file(tmp_path):
+    path = tmp_path / "victim.msol"
+    path.write_text(VICTIM_SOURCE)
+    return str(path)
+
+
+@pytest.fixture
+def safe_file(tmp_path):
+    path = tmp_path / "safe.msol"
+    path.write_text(SAFE_OWNED_SOURCE)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_vulnerable_exits_1(self, victim_file, capsys):
+        assert main(["analyze", "--source", victim_file]) == 1
+        output = capsys.readouterr().out
+        assert "accessible-selfdestruct" in output
+
+    def test_safe_exits_0(self, safe_file, capsys):
+        assert main(["analyze", "--source", safe_file]) == 0
+        assert "no vulnerabilities" in capsys.readouterr().out
+
+    def test_ablation_flag(self, safe_file, capsys):
+        assert main(["analyze", "--source", safe_file, "--no-guards"]) == 1
+
+    def test_hex_input(self, tmp_path, victim_contract, capsys):
+        hex_file = tmp_path / "code.hex"
+        hex_file.write_text("0x" + victim_contract.runtime.hex())
+        assert main(["analyze", "--hex", str(hex_file)]) == 1
+
+    def test_compare_flag(self, victim_file, capsys):
+        main(["analyze", "--source", victim_file, "--compare"])
+        assert "baselines" in capsys.readouterr().out
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["analyze"])
+
+
+class TestCompileDisasmDecompile:
+    def test_compile_prints_hex(self, safe_file, capsys):
+        assert main(["compile", safe_file]) == 0
+        output = capsys.readouterr().out.strip()
+        bytes.fromhex(output)  # valid hex
+
+    def test_disasm(self, safe_file, capsys):
+        assert main(["disasm", "--source", safe_file]) == 0
+        assert "JUMPI" in capsys.readouterr().out
+
+    def test_decompile(self, safe_file, capsys):
+        assert main(["decompile", "--source", safe_file]) == 0
+        assert "block" in capsys.readouterr().out
+
+
+class TestAbi:
+    def test_abi_lists_selectors_and_events(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "c.msol"
+        path.write_text(
+            "contract C { event E(uint256 v);"
+            " function kill() public { selfdestruct(msg.sender); } }"
+        )
+        assert main(["abi", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "kill()" in output
+        assert "E(uint256)" in output
+        assert "0x" in output
+
+
+class TestDecompileDot:
+    def test_dot_output(self, safe_file, capsys):
+        from repro.cli import main
+
+        assert main(["decompile", "--source", safe_file, "--dot"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("digraph")
+
+
+class TestCorpus:
+    def test_corpus_writes_files(self, tmp_path, capsys):
+        out_dir = tmp_path / "corpus"
+        assert main(["corpus", "--size", "5", "--seed", "1", "--out", str(out_dir)]) == 0
+        index = json.loads((out_dir / "index.json").read_text())
+        assert len(index) == 5
+        assert all("template" in entry for entry in index)
+        assert len(list(out_dir.glob("*.msol"))) == 5
+
+
+class TestKill:
+    def test_kill_destroys_vulnerable(self, tmp_path, capsys):
+        path = tmp_path / "open.msol"
+        path.write_text(OPEN_KILL_SOURCE)
+        assert main(["kill", str(path), "--value", "100"]) == 1
+        assert "DESTROYED" in capsys.readouterr().out
+
+    def test_kill_safe_contract_survives(self, safe_file, capsys):
+        assert main(["kill", safe_file]) == 0
+        assert "not destroyed" in capsys.readouterr().out
+
+
+class TestEngineFlag:
+    def test_datalog_engine_flag(self, victim_file, capsys):
+        from repro.cli import main
+
+        assert main(["analyze", "--source", victim_file, "--engine", "datalog"]) == 1
+        assert "accessible-selfdestruct" in capsys.readouterr().out

@@ -1,0 +1,176 @@
+"""Fact extraction: memory model, hash recovery, storage accesses, sinks."""
+
+from repro.core.facts import extract_facts
+from repro.decompiler import lift
+from repro.evm.assembler import assemble, parse_asm
+from repro.minisol import compile_source
+
+
+def facts_for(source, name=None):
+    return extract_facts(lift(compile_source(source, name).runtime))
+
+
+def facts_for_asm(text):
+    return extract_facts(lift(assemble(parse_asm(text))))
+
+
+class TestHashRecovery:
+    def test_mapping_access_hash_resolved(self):
+        facts = facts_for(
+            """
+contract M {
+    mapping(address => uint256) data;
+    function get(address k) public returns (uint256) { return data[k]; }
+}
+"""
+        )
+        assert len(facts.hashes) >= 1
+        hash_fact = facts.hashes[0]
+        assert len(hash_fact.args) == 2  # key and base slot
+
+    def test_hash_base_slot_constant(self):
+        facts = facts_for(
+            """
+contract M {
+    uint256 filler;
+    mapping(address => uint256) data;
+    function get(address k) public returns (uint256) { return data[k]; }
+}
+"""
+        )
+        base_values = {
+            facts.const.get(h.args[1]) for h in facts.hashes
+        }
+        assert 1 in base_values  # data sits at slot 1
+
+    def test_sha3_flow_edges_from_hash_args(self):
+        facts = facts_for(
+            """
+contract M {
+    mapping(address => uint256) data;
+    function get(address k) public returns (uint256) { return data[k]; }
+}
+"""
+        )
+        hash_fact = facts.hashes[0]
+        edges = {(s, d) for s, d, _ in facts.flow_edges}
+        for arg in hash_fact.args:
+            assert (arg, hash_fact.def_var) in edges
+
+    def test_unresolved_hash_falls_back_to_offset_flow(self):
+        # SHA3 over memory written at a non-constant offset.
+        facts = facts_for_asm(
+            "PUSH 5\nPUSH 0\nCALLDATALOAD\nMSTORE\nPUSH 32\nPUSH 0\nSHA3\nPUSH 0\nMSTORE\nSTOP"
+        )
+        assert facts.hashes == []  # write address unknown -> cleared model
+
+
+class TestStorageAccesses:
+    SOURCE = """
+contract S {
+    uint256 a;
+    mapping(address => uint256) m;
+    function setA(uint256 v) public { a = v; }
+    function setM(address k, uint256 v) public { m[k] = v; }
+    function getA() public returns (uint256) { return a; }
+}
+"""
+
+    def test_const_slot_store(self):
+        facts = facts_for(self.SOURCE)
+        const_stores = [s for s in facts.storage_stores if s.const_slot is not None]
+        assert any(s.const_slot == 0 for s in const_stores)
+
+    def test_mapping_store_has_unknown_slot(self):
+        facts = facts_for(self.SOURCE)
+        assert any(s.const_slot is None for s in facts.storage_stores)
+
+    def test_known_slots(self):
+        facts = facts_for(self.SOURCE)
+        assert 0 in facts.known_slots
+
+    def test_load_def_var(self):
+        facts = facts_for(self.SOURCE)
+        loads = [l for l in facts.storage_loads if l.const_slot == 0]
+        assert loads and all(l.def_var for l in loads)
+
+
+class TestMemoryModel:
+    def test_const_memory_writes_and_reads(self):
+        facts = facts_for(
+            """
+contract L {
+    function f(uint256 x) public returns (uint256) {
+        uint256 y = x + 1;
+        return y;
+    }
+}
+"""
+        )
+        write_addresses = {w.address for w in facts.memory_writes}
+        read_addresses = {r.address for r in facts.memory_reads}
+        assert write_addresses & read_addresses  # locals round-trip
+
+    def test_calldatacopy_taints_memory(self):
+        facts = facts_for_asm("PUSH 32\nPUSH 0\nPUSH 64\nCALLDATACOPY\nSTOP")
+        assert any(v.startswith("cdcopy") for v, _ in facts.calldata_defs)
+        assert any(w.address == 64 for w in facts.memory_writes)
+
+
+class TestSinksAndSources:
+    def test_caller_defs(self, victim_contract):
+        facts = extract_facts(lift(victim_contract.runtime))
+        assert facts.caller_defs
+
+    def test_calldata_defs(self, victim_contract):
+        facts = extract_facts(lift(victim_contract.runtime))
+        assert facts.calldata_defs
+
+    def test_selfdestruct_collected(self, victim_contract):
+        facts = extract_facts(lift(victim_contract.runtime))
+        assert len(facts.selfdestructs) == 1
+
+    def test_delegatecall_fact(self, delegate_contract):
+        facts = extract_facts(lift(delegate_contract.runtime))
+        delegates = [c for c in facts.calls if c.kind == "DELEGATECALL"]
+        assert len(delegates) == 1
+        assert delegates[0].address_var
+
+    def test_staticcall_offsets(self):
+        facts = facts_for(
+            """
+contract S {
+    function f(address w) public returns (uint256) { return staticcall_unchecked(w); }
+}
+"""
+        )
+        static = [c for c in facts.calls if c.kind == "STATICCALL"][0]
+        assert static.in_offset == static.out_offset
+        assert static.in_offset is not None
+
+    def test_returndatasize_block_recorded(self):
+        facts = facts_for(
+            """
+contract S {
+    function f(address w) public returns (uint256) { return staticcall_checked(w); }
+}
+"""
+        )
+        static = [c for c in facts.calls if c.kind == "STATICCALL"][0]
+        assert static.statement.block in facts.returndatasize_blocks
+
+    def test_jumpis_collected(self, safe_contract):
+        facts = extract_facts(lift(safe_contract.runtime))
+        assert facts.jumpis
+
+    def test_transfer_call_fact(self):
+        facts = facts_for(
+            """
+contract S {
+    function pay(address to) public { transfer(to, 1); }
+}
+"""
+        )
+        calls = [c for c in facts.calls if c.kind == "CALL"]
+        assert len(calls) == 1
+        assert calls[0].value_var is not None

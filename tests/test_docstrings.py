@@ -1,0 +1,46 @@
+"""Documentation completeness: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import repro
+
+
+def _public_items():
+    for module_info in pkgutil.walk_packages(repro.__path__, "repro."):
+        module = importlib.import_module(module_info.name)
+        yield ("module", module_info.name, module)
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != module_info.name:
+                continue  # re-export; documented at its home
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                yield (module_info.name, name, obj)
+
+
+class TestDocstrings:
+    def test_every_public_item_documented(self):
+        missing = [
+            (where, name)
+            for where, name, obj in _public_items()
+            if not inspect.getdoc(obj)
+        ]
+        assert missing == [], "undocumented public items: %r" % missing
+
+    def test_public_classes_document_public_methods(self):
+        """Public methods on the main API classes must be documented."""
+        from repro.chain import Blockchain, WorldState
+        from repro.core import EthainterAnalysis
+        from repro.datalog import Database, Engine
+        from repro.kill import EthainterKill
+
+        missing = []
+        for cls in (Blockchain, WorldState, EthainterAnalysis, Database, Engine, EthainterKill):
+            for name, member in inspect.getmembers(cls, inspect.isfunction):
+                if name.startswith("_"):
+                    continue
+                if not inspect.getdoc(member):
+                    missing.append((cls.__name__, name))
+        assert missing == [], missing

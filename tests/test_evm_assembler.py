@@ -1,0 +1,124 @@
+"""Assembler: label resolution, push sizing, init-code wrapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.evm.assembler import (
+    AssemblyError,
+    DataLabel,
+    Label,
+    LabelRef,
+    Op,
+    Push,
+    RawBytes,
+    assemble,
+    init_code_for,
+    layout,
+    parse_asm,
+)
+from repro.evm.disassembler import disassemble
+
+
+class TestPushSizing:
+    def test_small_literal_uses_push1(self):
+        assert assemble([Push(0x42)]) == bytes([0x60, 0x42])
+
+    def test_zero_uses_push1(self):
+        assert assemble([Push(0)]) == bytes([0x60, 0x00])
+
+    def test_two_byte_literal_uses_push2(self):
+        assert assemble([Push(0x1234)]) == bytes([0x61, 0x12, 0x34])
+
+    def test_32_byte_literal(self):
+        value = (1 << 256) - 1
+        code = assemble([Push(value)])
+        assert code[0] == 0x7F  # PUSH32
+        assert len(code) == 33
+
+    def test_negative_literal_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble([Push(-1)])
+
+    def test_oversized_literal_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble([Push(1 << 256)])
+
+    @given(st.integers(min_value=0, max_value=(1 << 256) - 1))
+    def test_push_roundtrips_through_disassembler(self, value):
+        code = assemble([Push(value)])
+        (ins,) = disassemble(code)
+        assert ins.operand == value
+
+
+class TestLabels:
+    def test_label_emits_jumpdest(self):
+        code = assemble([Label("start"), Op("STOP")])
+        assert code == bytes([0x5B, 0x00])
+
+    def test_data_label_emits_nothing(self):
+        code = assemble([DataLabel("data"), Op("STOP")])
+        assert code == bytes([0x00])
+
+    def test_label_ref_is_push2(self):
+        code = assemble([LabelRef("end"), Op("JUMP"), Label("end")])
+        # PUSH2 0x0004, JUMP, JUMPDEST
+        assert code == bytes([0x61, 0x00, 0x04, 0x56, 0x5B])
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble([Label("x"), Label("x")])
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble([LabelRef("nowhere")])
+
+    def test_layout_offsets(self):
+        offsets = layout([Push(0x01), Label("a"), Op("ADD"), DataLabel("b")])
+        assert offsets == {"a": 2, "b": 4}
+
+    def test_raw_bytes_spliced(self):
+        code = assemble([RawBytes(b"\xde\xad"), Op("STOP")])
+        assert code == b"\xde\xad\x00"
+
+    def test_op_with_immediate_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble([Op("PUSH1")])
+
+
+class TestParseAsm:
+    def test_basic_program(self):
+        items = parse_asm("PUSH 0x10\nloop:\n@loop\nJUMP ; comment")
+        assert items == [Push(0x10), Label("loop"), LabelRef("loop"), Op("JUMP")]
+
+    def test_comments_and_blank_lines(self):
+        assert parse_asm("; only a comment\n\nADD") == [Op("ADD")]
+
+    def test_decimal_push(self):
+        assert parse_asm("PUSH 255") == [Push(255)]
+
+    def test_malformed_push(self):
+        with pytest.raises(AssemblyError):
+            parse_asm("PUSH")
+
+    def test_unexpected_operand(self):
+        with pytest.raises(AssemblyError):
+            parse_asm("ADD 3")
+
+
+class TestInitCodeFor:
+    @given(st.binary(min_size=1, max_size=400))
+    def test_init_returns_runtime(self, runtime):
+        """Executing the init prelude must return exactly the runtime."""
+        from repro.chain import Blockchain
+
+        chain = Blockchain()
+        chain.fund(0xA, 10**18)
+        receipt = chain.deploy(0xA, init_code_for(runtime))
+        assert receipt.success
+        assert chain.state.get_code(receipt.contract_address) == runtime
+
+    def test_prelude_size_converges(self):
+        # Large runtime forces a wider PUSH for the size/offset literals.
+        runtime = b"\x00" * 300
+        init = init_code_for(runtime)
+        assert init.endswith(runtime)

@@ -1,0 +1,151 @@
+"""EVM coverage extras: CREATE, LOG, gas forwarding, hashing helpers."""
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.evm.assembler import Op, Push, assemble, init_code_for, parse_asm
+from repro.evm.hashing import function_selector, keccak, keccak_int, mapping_slot
+
+
+@pytest.fixture
+def chain():
+    chain = Blockchain()
+    chain.fund(0xA, 10**18)
+    return chain
+
+
+class TestCreate:
+    def test_create_deploys_child(self, chain):
+        # Child runtime: STOP; child init returns it.
+        child_init = init_code_for(assemble([Op("STOP")]))
+        # Factory: copy child init from its own code tail and CREATE.
+        factory_items = parse_asm(
+            """
+PUSH %(size)d
+@data
+PUSH 0
+CODECOPY
+PUSH %(size)d
+PUSH 0
+PUSH 0
+CREATE
+PUSH 0
+MSTORE
+PUSH 32
+PUSH 0
+RETURN
+data:
+"""
+            % {"size": len(child_init)}
+        )
+        # Drop the trailing label and splice raw child init bytes.
+        from repro.evm.assembler import DataLabel, RawBytes
+
+        factory_items = factory_items[:-1] + [DataLabel("data"), RawBytes(child_init)]
+        factory = chain.deploy(0xA, init_code_for(assemble(factory_items)))
+        receipt = chain.transact(0xA, factory.contract_address)
+        assert receipt.success
+        child_address = int.from_bytes(receipt.return_data, "big")
+        assert child_address != 0
+        assert chain.state.get_code(child_address) == assemble([Op("STOP")])
+
+    def test_failed_create_pushes_zero(self, chain):
+        # Init code that reverts: CREATE must push 0.
+        bad_init = assemble([Op("INVALID")])
+        items = parse_asm(
+            """
+PUSH %(size)d
+@data
+PUSH 0
+CODECOPY
+PUSH %(size)d
+PUSH 0
+PUSH 0
+CREATE
+PUSH 0
+MSTORE
+PUSH 32
+PUSH 0
+RETURN
+data:
+"""
+            % {"size": len(bad_init)}
+        )
+        from repro.evm.assembler import DataLabel, RawBytes
+
+        items = items[:-1] + [DataLabel("data"), RawBytes(bad_init)]
+        factory = chain.deploy(0xA, init_code_for(assemble(items)))
+        receipt = chain.transact(0xA, factory.contract_address)
+        assert receipt.success
+        assert int.from_bytes(receipt.return_data, "big") == 0
+
+
+class TestLogs:
+    def test_log_recorded(self, chain):
+        runtime = assemble(
+            [
+                Push(0xFEED),
+                Push(0),
+                Op("MSTORE"),
+                Push(0x1234),  # topic
+                Push(32),  # size
+                Push(0),  # offset
+                Op("LOG1"),
+                Op("STOP"),
+            ]
+        )
+        target = chain.deploy(0xA, init_code_for(runtime)).contract_address
+        receipt = chain.transact(0xA, target)
+        assert receipt.success
+        (log,) = receipt.result.logs
+        address, topics, data = log
+        assert address == target
+        assert topics == [0x1234]
+        assert int.from_bytes(data, "big") == 0xFEED
+
+
+class TestGasForwarding:
+    def test_inner_call_cannot_take_all_gas(self, chain):
+        # An infinite-loop callee must not exhaust the caller's entire gas:
+        # the 63/64 rule leaves the caller room to finish.
+        looper = chain.deploy(
+            0xA, init_code_for(assemble(parse_asm("loop:\n@loop\nJUMP")))
+        ).contract_address
+        items = parse_asm(
+            """
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH %d
+GAS
+CALL
+PUSH 0
+MSTORE
+PUSH 32
+PUSH 0
+RETURN
+"""
+            % looper
+        )
+        outer = chain.deploy(0xA, init_code_for(assemble(items))).contract_address
+        receipt = chain.transact(0xA, outer, gas=120_000)
+        assert receipt.success  # outer completes despite callee OOG
+        assert int.from_bytes(receipt.return_data, "big") == 0  # callee failed
+
+
+class TestHashingHelpers:
+    def test_keccak_is_32_bytes(self):
+        assert len(keccak(b"x")) == 32
+
+    def test_keccak_int_matches_bytes(self):
+        assert keccak_int(b"x") == int.from_bytes(keccak(b"x"), "big")
+
+    def test_selector_known_layout(self):
+        selector = function_selector("kill()")
+        assert selector == int.from_bytes(keccak(b"kill()")[:4], "big")
+
+    def test_mapping_slot_layout(self):
+        expected = keccak_int((5).to_bytes(32, "big") + (1).to_bytes(32, "big"))
+        assert mapping_slot(5, 1) == expected

@@ -1,0 +1,524 @@
+"""EVM interpreter semantics.
+
+Each group runs small assembled programs against a fresh world state; the
+arithmetic/bitwise groups are cross-checked against Python reference
+semantics with hypothesis.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import Blockchain, WorldState
+from repro.evm.assembler import Op, Push, assemble, init_code_for, parse_asm
+from repro.evm.hashing import UINT_MAX, keccak_int
+from repro.evm.machine import CallContext, Machine
+
+ATTACKER = 0xA11CE
+WORD = (1 << 256) - 1
+
+
+def run_code(items, calldata=b"", value=0, address=0xC0DE, caller=0xCA11, state=None):
+    """Assemble and execute; return (ExecutionResult, state)."""
+    state = state or WorldState()
+    code = assemble(items)
+    machine = Machine(state)
+    result = machine.execute(
+        CallContext(
+            address=address,
+            caller=caller,
+            origin=caller,
+            value=value,
+            calldata=calldata,
+            code=code,
+        )
+    )
+    return result, state
+
+
+def run_expr(items):
+    """Run items then return the top of stack via MSTORE/RETURN."""
+    tail = [Push(0), Op("MSTORE"), Push(32), Push(0), Op("RETURN")]
+    result, _ = run_code(items + tail)
+    assert result.success, result.error
+    return int.from_bytes(result.return_data, "big")
+
+
+def signed(value):
+    return value - (1 << 256) if value >> 255 else value
+
+
+uint = st.integers(min_value=0, max_value=WORD)
+
+
+class TestArithmetic:
+    @given(uint, uint)
+    @settings(max_examples=60)
+    def test_add(self, a, b):
+        assert run_expr([Push(b), Push(a), Op("ADD")]) == (a + b) & WORD
+
+    @given(uint, uint)
+    @settings(max_examples=60)
+    def test_sub(self, a, b):
+        assert run_expr([Push(b), Push(a), Op("SUB")]) == (a - b) & WORD
+
+    @given(uint, uint)
+    @settings(max_examples=60)
+    def test_mul(self, a, b):
+        assert run_expr([Push(b), Push(a), Op("MUL")]) == (a * b) & WORD
+
+    @given(uint, uint)
+    @settings(max_examples=60)
+    def test_div(self, a, b):
+        expected = 0 if b == 0 else a // b
+        assert run_expr([Push(b), Push(a), Op("DIV")]) == expected
+
+    @given(uint, uint)
+    @settings(max_examples=60)
+    def test_mod(self, a, b):
+        expected = 0 if b == 0 else a % b
+        assert run_expr([Push(b), Push(a), Op("MOD")]) == expected
+
+    @given(uint, uint)
+    @settings(max_examples=40)
+    def test_sdiv(self, a, b):
+        sa, sb = signed(a), signed(b)
+        if sb == 0:
+            expected = 0
+        else:
+            quotient = abs(sa) // abs(sb)
+            expected = (-quotient if (sa < 0) != (sb < 0) else quotient) & WORD
+        assert run_expr([Push(b), Push(a), Op("SDIV")]) == expected
+
+    @given(uint, uint)
+    @settings(max_examples=40)
+    def test_smod(self, a, b):
+        sa, sb = signed(a), signed(b)
+        if sb == 0:
+            expected = 0
+        else:
+            expected = ((abs(sa) % abs(sb)) * (-1 if sa < 0 else 1)) & WORD
+        assert run_expr([Push(b), Push(a), Op("SMOD")]) == expected
+
+    def test_div_by_zero(self):
+        assert run_expr([Push(0), Push(7), Op("DIV")]) == 0
+
+    @given(uint, uint, uint)
+    @settings(max_examples=30)
+    def test_addmod(self, a, b, n):
+        expected = 0 if n == 0 else (a + b) % n
+        assert run_expr([Push(n), Push(b), Push(a), Op("ADDMOD")]) == expected
+
+    @given(uint, uint, uint)
+    @settings(max_examples=30)
+    def test_mulmod(self, a, b, n):
+        expected = 0 if n == 0 else (a * b) % n
+        assert run_expr([Push(n), Push(b), Push(a), Op("MULMOD")]) == expected
+
+    @given(st.integers(0, 1 << 64), st.integers(0, 300))
+    @settings(max_examples=30)
+    def test_exp(self, base, exponent):
+        assert run_expr([Push(exponent), Push(base), Op("EXP")]) == pow(
+            base, exponent, 1 << 256
+        )
+
+    def test_signextend(self):
+        # Sign-extend 0xFF from byte 0: all ones.
+        assert run_expr([Push(0xFF), Push(0), Op("SIGNEXTEND")]) == WORD
+        assert run_expr([Push(0x7F), Push(0), Op("SIGNEXTEND")]) == 0x7F
+        assert run_expr([Push(0xFF), Push(31), Op("SIGNEXTEND")]) == 0xFF
+
+
+class TestComparison:
+    @given(uint, uint)
+    @settings(max_examples=60)
+    def test_lt_gt_eq(self, a, b):
+        assert run_expr([Push(b), Push(a), Op("LT")]) == int(a < b)
+        assert run_expr([Push(b), Push(a), Op("GT")]) == int(a > b)
+        assert run_expr([Push(b), Push(a), Op("EQ")]) == int(a == b)
+
+    @given(uint, uint)
+    @settings(max_examples=40)
+    def test_slt_sgt(self, a, b):
+        assert run_expr([Push(b), Push(a), Op("SLT")]) == int(signed(a) < signed(b))
+        assert run_expr([Push(b), Push(a), Op("SGT")]) == int(signed(a) > signed(b))
+
+    def test_iszero(self):
+        assert run_expr([Push(0), Op("ISZERO")]) == 1
+        assert run_expr([Push(5), Op("ISZERO")]) == 0
+
+
+class TestBitwise:
+    @given(uint, uint)
+    @settings(max_examples=60)
+    def test_and_or_xor(self, a, b):
+        assert run_expr([Push(b), Push(a), Op("AND")]) == a & b
+        assert run_expr([Push(b), Push(a), Op("OR")]) == a | b
+        assert run_expr([Push(b), Push(a), Op("XOR")]) == a ^ b
+
+    @given(uint)
+    @settings(max_examples=40)
+    def test_not(self, a):
+        assert run_expr([Push(a), Op("NOT")]) == WORD ^ a
+
+    @given(st.integers(0, 300), uint)
+    @settings(max_examples=40)
+    def test_shl_shr(self, shift, value):
+        expected_shl = (value << shift) & WORD if shift < 256 else 0
+        expected_shr = value >> shift if shift < 256 else 0
+        assert run_expr([Push(value), Push(shift), Op("SHL")]) == expected_shl
+        assert run_expr([Push(value), Push(shift), Op("SHR")]) == expected_shr
+
+    def test_sar_negative(self):
+        minus_one = WORD
+        assert run_expr([Push(minus_one), Push(5), Op("SAR")]) == WORD
+
+    @given(st.integers(0, 40), uint)
+    @settings(max_examples=40)
+    def test_byte(self, index, value):
+        expected = 0 if index >= 32 else (value >> (8 * (31 - index))) & 0xFF
+        assert run_expr([Push(value), Push(index), Op("BYTE")]) == expected
+
+
+class TestStackOps:
+    def test_dup_and_swap(self):
+        assert run_expr([Push(1), Push(2), Op("DUP2")]) == 1
+        assert run_expr([Push(1), Push(2), Op("SWAP1")]) == 1
+
+    def test_pop(self):
+        assert run_expr([Push(9), Push(5), Op("POP")]) == 9
+
+    def test_stack_underflow_fails(self):
+        result, _ = run_code([Op("ADD"), Op("STOP")])
+        assert not result.success
+        assert "underflow" in result.error
+
+
+class TestMemory:
+    def test_mstore_mload_roundtrip(self):
+        assert run_expr([Push(0xDEAD), Push(64), Op("MSTORE"), Push(64), Op("MLOAD")]) == 0xDEAD
+
+    def test_mstore8(self):
+        value = run_expr(
+            [Push(0xABCD), Push(0), Op("MSTORE8"), Push(0), Op("MLOAD")]
+        )
+        assert value >> 248 == 0xCD  # low byte stored at offset 0
+
+    def test_msize_expands_by_words(self):
+        assert run_expr([Push(1), Push(33), Op("MSTORE"), Op("MSIZE")]) == 96
+
+    def test_sha3(self):
+        expected = keccak_int((0x42).to_bytes(32, "big"))
+        assert (
+            run_expr([Push(0x42), Push(0), Op("MSTORE"), Push(32), Push(0), Op("SHA3")])
+            == expected
+        )
+
+
+class TestStorage:
+    def test_sstore_sload(self):
+        items = [Push(7), Push(3), Op("SSTORE"), Push(3), Op("SLOAD")]
+        assert run_expr(items) == 7
+
+    def test_sload_default_zero(self):
+        assert run_expr([Push(99), Op("SLOAD")]) == 0
+
+    def test_zero_store_deletes(self):
+        _, state = run_code(
+            [Push(5), Push(1), Op("SSTORE"), Push(0), Push(1), Op("SSTORE"), Op("STOP")],
+            address=0xC0DE,
+        )
+        assert state.account(0xC0DE).storage == {}
+
+
+class TestEnvironment:
+    def test_caller_address_callvalue(self):
+        assert run_expr([Op("CALLER")]) == 0xCA11
+        assert run_expr([Op("ADDRESS")]) == 0xC0DE
+
+    def test_callvalue(self):
+        result, _ = run_code(
+            [Op("CALLVALUE"), Push(0), Op("MSTORE"), Push(32), Push(0), Op("RETURN")],
+            value=123,
+        )
+        assert int.from_bytes(result.return_data, "big") == 123
+
+    def test_calldataload_and_size(self):
+        data = (0xBEEF).to_bytes(32, "big") + b"\x01"
+        result, _ = run_code(
+            [Push(0), Op("CALLDATALOAD"), Push(0), Op("MSTORE"), Push(32), Push(0), Op("RETURN")],
+            calldata=data,
+        )
+        assert int.from_bytes(result.return_data, "big") == 0xBEEF
+
+    def test_calldataload_past_end_zero_padded(self):
+        result, _ = run_code(
+            [Push(100), Op("CALLDATALOAD"), Push(0), Op("MSTORE"), Push(32), Push(0), Op("RETURN")],
+            calldata=b"\x01",
+        )
+        assert int.from_bytes(result.return_data, "big") == 0
+
+    def test_calldatacopy(self):
+        result, _ = run_code(
+            parse_asm("PUSH 32\nPUSH 0\nPUSH 0\nCALLDATACOPY\nPUSH 0\nMLOAD\nPUSH 0\nMSTORE\nPUSH 32\nPUSH 0\nRETURN"),
+            calldata=(0x77).to_bytes(32, "big"),
+        )
+        assert int.from_bytes(result.return_data, "big") == 0x77
+
+
+class TestControlFlow:
+    def test_jump_to_jumpdest(self):
+        items = parse_asm("@target\nJUMP\nPUSH 0\nPUSH 0\nREVERT\ntarget:\nSTOP")
+        result, _ = run_code(items)
+        assert result.success
+
+    def test_jump_to_non_jumpdest_fails(self):
+        result, _ = run_code([Push(1), Op("JUMP"), Op("STOP")])
+        assert not result.success
+        assert "jump" in result.error.lower()
+
+    def test_jumpi_taken_and_not_taken(self):
+        taken = parse_asm("PUSH 1\n@t\nJUMPI\nPUSH 0\nPUSH 0\nREVERT\nt:\nSTOP")
+        result, _ = run_code(taken)
+        assert result.success
+        not_taken = parse_asm("PUSH 0\n@t\nJUMPI\nSTOP\nt:\nPUSH 0\nPUSH 0\nREVERT")
+        result, _ = run_code(not_taken)
+        assert result.success
+
+    def test_pc_opcode(self):
+        assert run_expr([Push(0), Op("POP"), Op("PC")]) == 3
+
+    def test_running_off_end_is_implicit_stop(self):
+        result, _ = run_code([Push(1)])
+        assert result.success
+
+    def test_infinite_loop_runs_out_of_gas(self):
+        items = parse_asm("loop:\n@loop\nJUMP")
+        result, _ = run_code(items)
+        assert not result.success
+        assert "gas" in result.error
+
+
+class TestRevert:
+    def test_revert_returns_data_and_rolls_back(self):
+        state = WorldState()
+        items = parse_asm(
+            "PUSH 5\nPUSH 1\nSSTORE\nPUSH 0xEE\nPUSH 0\nMSTORE\nPUSH 32\nPUSH 0\nREVERT"
+        )
+        result, state = run_code(items, state=state)
+        assert not result.success
+        assert result.error == "revert"
+        assert int.from_bytes(result.return_data, "big") == 0xEE
+        assert state.get_storage(0xC0DE, 1) == 0
+
+    def test_invalid_opcode_halts(self):
+        result, _ = run_code([Op("INVALID")])
+        assert not result.success
+
+
+class TestSelfdestruct:
+    def test_selfdestruct_transfers_balance_and_traces(self):
+        state = WorldState()
+        state.set_balance(0xC0DE, 1000)
+        result, state = run_code([Push(0xBEEF), Op("SELFDESTRUCT")], state=state)
+        assert result.success
+        assert result.executed("SELFDESTRUCT")
+        assert 0xC0DE in result.destroyed
+        assert state.get_balance(0xBEEF) == 1000
+        assert state.is_destroyed(0xC0DE)
+
+    def test_selfdestruct_reverted_if_outer_reverts(self):
+        # A nested call that selfdestructs, then the outer frame reverts:
+        # destruction must be undone.
+        chain = Blockchain()
+        chain.fund(0xA, 10**18)
+        victim = chain.deploy(0xA, init_code_for(assemble([Op("CALLER"), Op("SELFDESTRUCT")])))
+        victim_address = victim.contract_address
+        # Outer: CALL victim, then REVERT.
+        outer_items = parse_asm(
+            """
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH %d
+GAS
+CALL
+POP
+PUSH 0
+PUSH 0
+REVERT
+"""
+            % victim_address
+        )
+        outer = chain.deploy(0xA, init_code_for(assemble(outer_items)))
+        receipt = chain.transact(0xA, outer.contract_address)
+        assert not receipt.success
+        assert not chain.state.is_destroyed(victim_address)
+
+
+class TestCalls:
+    def _deploy_echo(self, chain):
+        """Contract returning CALLER as one word."""
+        runtime = assemble(
+            [Op("CALLER"), Push(0), Op("MSTORE"), Push(32), Push(0), Op("RETURN")]
+        )
+        receipt = chain.deploy(0xA, init_code_for(runtime))
+        return receipt.contract_address
+
+    def test_call_passes_caller(self):
+        chain = Blockchain()
+        chain.fund(0xA, 10**18)
+        echo = self._deploy_echo(chain)
+        caller_items = parse_asm(
+            """
+PUSH 32
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH %d
+GAS
+CALL
+POP
+PUSH 32
+PUSH 0
+RETURN
+"""
+            % echo
+        )
+        proxy = chain.deploy(0xA, init_code_for(assemble(caller_items))).contract_address
+        result = chain.call(0xB, proxy)
+        assert int.from_bytes(result.return_data, "big") == proxy  # echo sees proxy
+
+    def test_delegatecall_preserves_caller_and_address(self):
+        chain = Blockchain()
+        chain.fund(0xA, 10**18)
+        echo = self._deploy_echo(chain)
+        items = parse_asm(
+            """
+PUSH 32
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH %d
+GAS
+DELEGATECALL
+POP
+PUSH 32
+PUSH 0
+RETURN
+"""
+            % echo
+        )
+        proxy = chain.deploy(0xA, init_code_for(assemble(items))).contract_address
+        result = chain.call(0xB, proxy)
+        assert int.from_bytes(result.return_data, "big") == 0xB  # original caller
+
+    def test_staticcall_blocks_writes(self):
+        chain = Blockchain()
+        chain.fund(0xA, 10**18)
+        writer = chain.deploy(
+            0xA, init_code_for(assemble([Push(1), Push(0), Op("SSTORE"), Op("STOP")]))
+        ).contract_address
+        items = parse_asm(
+            """
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH %d
+GAS
+STATICCALL
+PUSH 0
+MSTORE
+PUSH 32
+PUSH 0
+RETURN
+"""
+            % writer
+        )
+        proxy = chain.deploy(0xA, init_code_for(assemble(items))).contract_address
+        result = chain.call(0xB, proxy)
+        assert int.from_bytes(result.return_data, "big") == 0  # inner call failed
+        assert chain.state.get_storage(writer, 0) == 0
+
+    def test_call_output_not_zero_padded_on_short_return(self):
+        """Short return data leaves prior memory intact — the §3.5 bug's
+        load-bearing VM behaviour."""
+        chain = Blockchain()
+        chain.fund(0xA, 10**18)
+        empty = 0x5117  # address with no code: call succeeds, returns b""
+        items = parse_asm(
+            """
+PUSH 0xABCD
+PUSH 0
+MSTORE
+PUSH 32
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH %d
+GAS
+STATICCALL
+POP
+PUSH 32
+PUSH 0
+RETURN
+"""
+            % empty
+        )
+        proxy = chain.deploy(0xA, init_code_for(assemble(items))).contract_address
+        result = chain.call(0xB, proxy)
+        assert int.from_bytes(result.return_data, "big") == 0xABCD  # stale!
+
+    def test_failed_inner_call_rolls_back_inner_state_only(self):
+        chain = Blockchain()
+        chain.fund(0xA, 10**18)
+        reverter = chain.deploy(
+            0xA,
+            init_code_for(
+                assemble([Push(1), Push(0), Op("SSTORE"), Push(0), Push(0), Op("REVERT")])
+            ),
+        ).contract_address
+        items = parse_asm(
+            """
+PUSH 7
+PUSH 0
+SSTORE
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH 0
+PUSH %d
+GAS
+CALL
+POP
+STOP
+"""
+            % reverter
+        )
+        outer = chain.deploy(0xA, init_code_for(assemble(items))).contract_address
+        receipt = chain.transact(0xB, outer)
+        assert receipt.success
+        assert chain.state.get_storage(outer, 0) == 7  # outer write survives
+        assert chain.state.get_storage(reverter, 0) == 0  # inner rolled back
+
+
+class TestTrace:
+    def test_trace_records_ops_in_order(self):
+        result, _ = run_code([Push(1), Push(2), Op("ADD"), Op("STOP")])
+        assert [entry.op for entry in result.trace] == ["PUSH1", "PUSH1", "ADD", "STOP"]
+
+    def test_trace_depth_for_nested_call(self):
+        chain = Blockchain()
+        chain.fund(0xA, 10**18)
+        inner = chain.deploy(0xA, init_code_for(assemble([Op("STOP")]))).contract_address
+        items = parse_asm(
+            "PUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH 0\nPUSH %d\nGAS\nCALL\nPOP\nSTOP" % inner
+        )
+        outer = chain.deploy(0xA, init_code_for(assemble(items))).contract_address
+        receipt = chain.transact(0xB, outer)
+        depths = {entry.depth for entry in receipt.result.trace}
+        assert depths == {0, 1}

@@ -1,0 +1,192 @@
+"""Guard extraction: sender-scrutinizing guards, polarity, sinks (§4.5)."""
+
+from repro.core.facts import extract_facts
+from repro.core.guards import DS_LOOKUP, EQ_SENDER, build_guard_model
+from repro.core.storage_model import build_storage_model
+from repro.decompiler import lift
+from repro.minisol import compile_source
+
+
+def guards_for(source, name=None):
+    facts = extract_facts(lift(compile_source(source, name).runtime))
+    storage = build_storage_model(facts)
+    return facts, storage, build_guard_model(facts, storage)
+
+
+OWNER_GUARD = """
+contract G {
+    address owner;
+    uint256 x;
+    constructor() { owner = msg.sender; }
+    function f(uint256 v) public { require(msg.sender == owner); x = v; }
+}
+"""
+
+MAPPING_GUARD = """
+contract G {
+    mapping(address => bool) admins;
+    uint256 x;
+    function f(uint256 v) public { require(admins[msg.sender]); x = v; }
+}
+"""
+
+FLAG_GUARD = """
+contract G {
+    uint256 open;
+    uint256 x;
+    function f(uint256 v) public { require(open == 1); x = v; }
+}
+"""
+
+
+class TestEqSenderGuards:
+    def test_owner_guard_detected(self):
+        facts, storage, guards = guards_for(OWNER_GUARD)
+        kinds = {guard.kind for guard in guards.guards}
+        assert EQ_SENDER in kinds
+
+    def test_owner_guard_carries_slot(self):
+        facts, storage, guards = guards_for(OWNER_GUARD)
+        eq_guards = [g for g in guards.guards if g.kind == EQ_SENDER]
+        assert any(0 in g.compared_slots for g in eq_guards)
+
+    def test_guarded_statement_includes_store(self):
+        facts, storage, guards = guards_for(OWNER_GUARD)
+        stores = [s for s in facts.storage_stores if s.const_slot == 1]
+        assert stores
+        assert guards.is_guarded(stores[0].statement.ident)
+
+    def test_sink_slots_computed(self):
+        facts, storage, guards = guards_for(OWNER_GUARD)
+        assert guards.sink_slots == {0}
+
+    def test_if_form_guard(self):
+        facts, storage, guards = guards_for(
+            """
+contract G {
+    address owner;
+    uint256 x;
+    constructor() { owner = msg.sender; }
+    function f(uint256 v) public { if (msg.sender == owner) { x = v; } }
+}
+"""
+        )
+        stores = [s for s in facts.storage_stores if s.const_slot == 1]
+        assert stores and guards.is_guarded(stores[0].statement.ident)
+
+    def test_negated_sender_compare_does_not_guard(self):
+        facts, storage, guards = guards_for(
+            """
+contract G {
+    address owner;
+    uint256 x;
+    constructor() { owner = msg.sender; }
+    function f(uint256 v) public { require(msg.sender != owner); x = v; }
+}
+"""
+        )
+        stores = [s for s in facts.storage_stores if s.const_slot == 1]
+        assert stores and not guards.is_guarded(stores[0].statement.ident)
+
+
+class TestDsLookupGuards:
+    def test_mapping_guard_detected(self):
+        facts, storage, guards = guards_for(MAPPING_GUARD)
+        kinds = {guard.kind for guard in guards.guards}
+        assert DS_LOOKUP in kinds
+
+    def test_mapping_guard_root_slot(self):
+        facts, storage, guards = guards_for(MAPPING_GUARD)
+        ds_guards = [g for g in guards.guards if g.kind == DS_LOOKUP]
+        assert any(g.mapping_slot == 0 for g in ds_guards)
+
+    def test_mapping_guard_protects_store(self):
+        facts, storage, guards = guards_for(MAPPING_GUARD)
+        stores = [s for s in facts.storage_stores if s.const_slot == 1]
+        assert stores and guards.is_guarded(stores[0].statement.ident)
+
+    def test_no_sink_slot_for_mapping_guard(self):
+        facts, storage, guards = guards_for(MAPPING_GUARD)
+        assert guards.sink_slots == set()
+
+
+class TestNonScrutinizingGuards:
+    def test_flag_guard_excluded(self):
+        """A non-sender equality never sanitizes (Uguard-NDS folded in)."""
+        facts, storage, guards = guards_for(FLAG_GUARD)
+        stores = [s for s in facts.storage_stores if s.const_slot == 1]
+        assert stores and not guards.is_guarded(stores[0].statement.ident)
+
+    def test_range_check_excluded(self):
+        facts, storage, guards = guards_for(
+            """
+contract G {
+    uint256 x;
+    function f(uint256 v) public { require(v < 100); x = v; }
+}
+"""
+        )
+        stores = [s for s in facts.storage_stores if s.const_slot == 0]
+        assert stores and not guards.is_guarded(stores[0].statement.ident)
+
+    def test_unguarded_function(self):
+        facts, storage, guards = guards_for(
+            "contract G { uint256 x; function f(uint256 v) public { x = v; } }"
+        )
+        stores = [s for s in facts.storage_stores if s.const_slot == 0]
+        assert stores and not guards.is_guarded(stores[0].statement.ident)
+
+
+class TestConjunctions:
+    def test_and_decomposed_into_atoms(self):
+        facts, storage, guards = guards_for(
+            """
+contract G {
+    address owner;
+    uint256 x;
+    constructor() { owner = msg.sender; }
+    function f(uint256 v) public {
+        require(msg.sender == owner && v > 0);
+        x = v;
+    }
+}
+"""
+        )
+        stores = [s for s in facts.storage_stores if s.const_slot == 1]
+        assert stores and guards.is_guarded(stores[0].statement.ident)
+        kinds = {g.kind for g in guards.guards}
+        assert EQ_SENDER in kinds
+
+    def test_nested_requires_accumulate(self):
+        facts, storage, guards = guards_for(
+            """
+contract G {
+    address owner;
+    mapping(address => bool) admins;
+    uint256 x;
+    constructor() { owner = msg.sender; }
+    function f(uint256 v) public {
+        require(admins[msg.sender]);
+        require(msg.sender == owner);
+        x = v;
+    }
+}
+"""
+        )
+        stores = [s for s in facts.storage_stores if s.const_slot == 2]
+        assert stores
+        guard_kinds = {g.kind for g in guards.guards_of(stores[0].statement.ident)}
+        assert guard_kinds == {EQ_SENDER, DS_LOOKUP}
+
+
+class TestVictimGuards:
+    def test_victim_guard_structure(self, victim_contract):
+        facts = extract_facts(lift(victim_contract.runtime))
+        storage = build_storage_model(facts)
+        guards = build_guard_model(facts, storage)
+        ds_guards = [g for g in guards.guards if g.kind == DS_LOOKUP]
+        roots = {g.mapping_slot for g in ds_guards}
+        assert roots == {0, 1}  # onlyAdmins and onlyUsers
+        # The selfdestruct is guarded (statically) by onlyAdmins.
+        selfdestruct = facts.selfdestructs[0]
+        assert guards.is_guarded(selfdestruct.ident)

@@ -1,0 +1,106 @@
+"""Dominator computation on known graphs plus structural properties."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.dominators import compute_dominators, dominance_frontier, immediate_dominators
+
+DIAMOND = {"entry": ["a", "b"], "a": ["join"], "b": ["join"], "join": []}
+CHAIN = {"a": ["b"], "b": ["c"], "c": []}
+LOOP = {"entry": ["head"], "head": ["body", "exit"], "body": ["head"], "exit": []}
+
+
+class TestDominators:
+    def test_chain(self):
+        dom = compute_dominators("a", CHAIN)
+        assert dom["c"] == {"a", "b", "c"}
+
+    def test_diamond_join_dominated_only_by_entry(self):
+        dom = compute_dominators("entry", DIAMOND)
+        assert dom["join"] == {"entry", "join"}
+        assert dom["a"] == {"entry", "a"}
+
+    def test_loop(self):
+        dom = compute_dominators("entry", LOOP)
+        assert dom["body"] == {"entry", "head", "body"}
+        assert dom["exit"] == {"entry", "head", "exit"}
+
+    def test_unreachable_nodes_omitted(self):
+        graph = {"a": ["b"], "b": [], "island": ["b"]}
+        dom = compute_dominators("a", graph)
+        assert "island" not in dom
+
+    def test_entry_only_dominates_itself_trivially(self):
+        dom = compute_dominators("a", {"a": []})
+        assert dom == {"a": {"a"}}
+
+
+class TestImmediateDominators:
+    def test_chain_idoms(self):
+        idom = immediate_dominators("a", CHAIN)
+        assert idom == {"a": None, "b": "a", "c": "b"}
+
+    def test_diamond_idom_of_join_is_entry(self):
+        idom = immediate_dominators("entry", DIAMOND)
+        assert idom["join"] == "entry"
+
+
+class TestDominanceFrontier:
+    def test_diamond_frontier(self):
+        frontier = dominance_frontier("entry", DIAMOND)
+        assert frontier["a"] == {"join"}
+        assert frontier["b"] == {"join"}
+        assert frontier["entry"] == set()
+
+    def test_loop_frontier_contains_head(self):
+        frontier = dominance_frontier("entry", LOOP)
+        assert "head" in frontier["body"] or "head" in frontier["head"]
+
+
+@st.composite
+def random_graph(draw):
+    node_count = draw(st.integers(2, 12))
+    nodes = ["n%d" % index for index in range(node_count)]
+    successors = {}
+    for position, node in enumerate(nodes):
+        edges = draw(
+            st.lists(st.sampled_from(nodes), max_size=3, unique=True)
+        )
+        successors[node] = edges
+    # Keep everything reachable-ish: chain each node to the next.
+    for position in range(node_count - 1):
+        if nodes[position + 1] not in successors[nodes[position]]:
+            successors[nodes[position]].append(nodes[position + 1])
+    return successors
+
+
+class TestProperties:
+    @given(random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_entry_dominates_everything(self, graph):
+        entry = "n0"
+        dom = compute_dominators(entry, graph)
+        for node, dominators in dom.items():
+            assert entry in dominators
+            assert node in dominators
+
+    @given(random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_idom_is_strict_dominator(self, graph):
+        entry = "n0"
+        dom = compute_dominators(entry, graph)
+        idom = immediate_dominators(entry, graph)
+        for node, parent in idom.items():
+            if parent is not None:
+                assert parent in dom[node]
+                assert parent != node
+
+    @given(random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_dominator_sets_are_chains(self, graph):
+        """Dominators of a node are totally ordered by dominance."""
+        entry = "n0"
+        dom = compute_dominators(entry, graph)
+        for node, dominators in dom.items():
+            ordered = sorted(dominators, key=lambda d: len(dom[d]))
+            for outer, inner in zip(ordered, ordered[1:]):
+                assert outer in dom[inner]

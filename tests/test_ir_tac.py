@@ -1,0 +1,87 @@
+"""TACProgram/TACBlock/TACStatement helpers."""
+
+import pytest
+
+from repro.decompiler import lift
+from repro.ir.tac import TACBlock, TACProgram, TACStatement
+
+
+@pytest.fixture(scope="module")
+def program(victim_contract_module):
+    return lift(victim_contract_module.runtime)
+
+
+@pytest.fixture(scope="module")
+def victim_contract_module():
+    from repro.minisol import compile_source
+    from tests.conftest import VICTIM_SOURCE
+
+    return compile_source(VICTIM_SOURCE)
+
+
+class TestStatement:
+    def test_def_var(self):
+        stmt = TACStatement(ident="s1", opcode="ADD", defs=["v1"], uses=["a", "b"])
+        assert stmt.def_var == "v1"
+
+    def test_def_var_none_for_effectful(self):
+        stmt = TACStatement(ident="s1", opcode="SSTORE", uses=["a", "b"])
+        assert stmt.def_var is None
+
+    def test_str_rendering(self):
+        stmt = TACStatement(ident="s1", opcode="ADD", defs=["v1"], uses=["a", "b"])
+        assert str(stmt) == "v1 = ADD(a, b)"
+        bare = TACStatement(ident="s2", opcode="STOP")
+        assert str(bare) == "STOP()"
+
+
+class TestProgramIndexes:
+    def test_statements_iterates_all(self, program):
+        total = sum(len(block.statements) for block in program.blocks.values())
+        assert len(list(program.statements())) == total
+
+    def test_statements_by_opcode(self, program):
+        selfdestructs = program.statements_by_opcode("SELFDESTRUCT")
+        assert len(selfdestructs) == 1
+        multi = program.statements_by_opcode("SSTORE", "SLOAD")
+        assert all(s.opcode in ("SSTORE", "SLOAD") for s in multi)
+        assert multi
+
+    def test_defining_statement_unique(self, program):
+        defining = program.defining_statement()
+        for variable, stmt in defining.items():
+            assert variable in stmt.defs
+
+    def test_uses_of_inverse_of_uses(self, program):
+        uses = program.uses_of()
+        for variable, statements in uses.items():
+            for stmt in statements:
+                assert variable in stmt.uses
+
+    def test_block_of_finds_statement(self, program):
+        stmt = program.statements_by_opcode("SELFDESTRUCT")[0]
+        block = program.block_of(stmt.ident)
+        assert block is not None
+        assert stmt in block.statements
+
+    def test_block_of_missing(self, program):
+        assert program.block_of("nope") is None
+
+    def test_edges_consistent_with_successors(self, program):
+        edges = set(program.edges())
+        for block in program.blocks.values():
+            for successor in block.successors:
+                assert (block.ident, successor) in edges
+
+    def test_variables_superset_of_defs(self, program):
+        variables = program.variables()
+        for stmt in program.statements():
+            for var in stmt.defs:
+                assert var in variables
+
+
+class TestBlock:
+    def test_iteration(self):
+        stmt = TACStatement(ident="s", opcode="STOP")
+        block = TACBlock(ident="b", offset=0, statements=[stmt])
+        assert list(block) == [stmt]

@@ -1,0 +1,159 @@
+"""MiniSol semantic checker: slot assignment and rejection rules."""
+
+import pytest
+
+from repro.minisol.checker import CheckError, check
+from repro.minisol.compiler import compile_source
+from repro.minisol.parser import parse
+
+
+def check_contract(body):
+    return check(parse("contract C { %s }" % body)).contract("C")
+
+
+class TestSlotAssignment:
+    def test_sequential_slots(self):
+        contract = check_contract("uint256 a; mapping(address => bool) m; address b;")
+        assert [v.slot for v in contract.state_vars] == [0, 1, 2]
+
+    def test_duplicate_state_var(self):
+        with pytest.raises(CheckError):
+            check_contract("uint256 a; uint256 a;")
+
+    def test_mapping_initializer_rejected(self):
+        with pytest.raises(CheckError):
+            check_contract("mapping(address => bool) m = 1;")
+
+
+class TestFunctionRules:
+    def test_duplicate_function(self):
+        with pytest.raises(CheckError):
+            check_contract("function f() public {} function f() public {}")
+
+    def test_unknown_modifier(self):
+        with pytest.raises(CheckError):
+            check_contract("function f() public missing { }")
+
+    def test_modifier_arity(self):
+        with pytest.raises(CheckError):
+            check_contract("modifier m(uint256 a) { _; } function f() public m { }")
+
+    def test_modifier_needs_exactly_one_placeholder(self):
+        with pytest.raises(CheckError):
+            check_contract("modifier m() { require(true); }")
+        with pytest.raises(CheckError):
+            check_contract("modifier m() { _; _; }")
+
+    def test_placeholder_outside_modifier(self):
+        with pytest.raises(CheckError):
+            check_contract("function f() public { _; }")
+
+    def test_return_without_declared_type(self):
+        with pytest.raises(CheckError):
+            check_contract("function f() public { return 1; }")
+
+    def test_user_function_shadows_builtin(self):
+        contract = check_contract(
+            "mapping(address => uint256) b;"
+            "function transfer(address to, uint256 v) public { b[to] = v; }"
+        )
+        assert contract.function("transfer").params[0].name == "to"
+
+
+class TestScoping:
+    def test_unknown_identifier(self):
+        with pytest.raises(CheckError):
+            check_contract("function f() public { x = 1; }")
+
+    def test_param_visible(self):
+        check_contract("function f(uint256 x) public { x = 2; }")
+
+    def test_local_redeclaration(self):
+        with pytest.raises(CheckError):
+            check_contract("function f() public { uint256 x = 1; uint256 x = 2; }")
+
+    def test_block_scoping_allows_shadow_in_sibling(self):
+        check_contract(
+            "function f(bool c) public {"
+            " if (c) { uint256 x = 1; x = x; } else { uint256 x = 2; x = x; } }"
+        )
+
+
+class TestMappingAccess:
+    BODY = "mapping(address => mapping(address => uint256)) m; uint256 s;"
+
+    def test_full_depth_ok(self):
+        check_contract(self.BODY + " function f(address a) public { m[a][a] = 1; }")
+
+    def test_partial_index_write_rejected(self):
+        with pytest.raises(CheckError):
+            check_contract(self.BODY + " function f(address a) public { m[a] = 1; }")
+
+    def test_over_indexing_rejected(self):
+        with pytest.raises(CheckError):
+            check_contract(self.BODY + " function f(address a) public { m[a][a][a] = 1; }")
+
+    def test_bare_mapping_read_rejected(self):
+        with pytest.raises(CheckError):
+            check_contract(
+                self.BODY + " function f() public returns (uint256) { return s + m; }"
+            )
+
+    def test_scalar_not_indexable(self):
+        with pytest.raises(CheckError):
+            check_contract(self.BODY + " function f(address a) public { s[a] = 1; }")
+
+    def test_mapping_assignment_without_index_rejected(self):
+        with pytest.raises(CheckError):
+            check_contract(
+                "mapping(address => bool) m; function f() public { m = true; }"
+            )
+
+
+class TestCalls:
+    def test_builtin_arity(self):
+        with pytest.raises(CheckError):
+            check_contract("function f() public { selfdestruct(); }")
+
+    def test_unknown_function(self):
+        with pytest.raises(CheckError):
+            check_contract("function f() public { nothere(1); }")
+
+    def test_internal_call_arity(self):
+        with pytest.raises(CheckError):
+            check_contract(
+                "function g(uint256 a) internal {} function f() public { g(); }"
+            )
+
+    def test_malformed_signature(self):
+        with pytest.raises(CheckError):
+            check_contract('function f(address a) public { call(a, "nosig"); }')
+
+
+class TestRecursionRejection:
+    def test_direct_recursion(self):
+        with pytest.raises(CheckError, match="recursion"):
+            compile_source("contract C { function f() public { f(); } }")
+
+    def test_mutual_recursion(self):
+        with pytest.raises(CheckError, match="recursion"):
+            compile_source(
+                "contract C {"
+                " function f() internal { g(); }"
+                " function g() internal { f(); }"
+                " function go() public { f(); } }"
+            )
+
+    def test_non_recursive_chain_accepted(self):
+        compile_source(
+            "contract C {"
+            " function a() internal returns (uint256) { return 1; }"
+            " function b() internal returns (uint256) { return a() + a(); }"
+            " function go() public returns (uint256) { return b(); } }"
+        )
+
+
+class TestProgramLevel:
+    def test_duplicate_contract_names(self):
+        with pytest.raises(CheckError):
+            check(parse("contract A {} contract A {}"))

@@ -1,0 +1,451 @@
+"""MiniSol code generation: compiled contracts must compute correctly.
+
+These are end-to-end semantic tests: compile, deploy on the simulator,
+transact, check results — plus a hypothesis property comparing compiled
+arithmetic against a Python reference evaluator.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import Blockchain
+from repro.minisol import compile_source
+from repro.minisol.abi import decode_word
+
+WORD = (1 << 256) - 1
+OWNER, USER, OTHER = 0xAA01, 0xBB02, 0xCC03
+
+
+def deploy(source, *ctor_args, value=0, name=None):
+    contract = compile_source(source, name)
+    chain = Blockchain()
+    for account in (OWNER, USER, OTHER):
+        chain.fund(account, 10**18)
+    receipt = chain.deploy(OWNER, contract.init_with_args(*ctor_args), value=value)
+    assert receipt.success, receipt.error
+    return chain, contract, receipt.contract_address
+
+
+def call_value(chain, contract, address, fn, *args, sender=USER):
+    result = chain.call(sender, address, contract.calldata(fn, *args))
+    assert result.success, result.error
+    return decode_word(result.return_data)
+
+
+class TestExpressions:
+    def _eval(self, expression, p=0):
+        source = (
+            "contract E { function f(uint256 p) public returns (uint256) "
+            "{ return %s; } }" % expression
+        )
+        chain, contract, address = deploy(source)
+        return call_value(chain, contract, address, "f", p)
+
+    def test_arithmetic(self):
+        assert self._eval("2 + 3 * 4") == 14
+        assert self._eval("(2 + 3) * 4") == 20
+        assert self._eval("10 - 4") == 6
+        assert self._eval("7 / 2") == 3
+        assert self._eval("7 % 2") == 1
+
+    def test_underflow_wraps(self):
+        assert self._eval("0 - 1") == WORD
+
+    def test_comparisons(self):
+        assert self._eval("1 < 2") == 1
+        assert self._eval("2 <= 2") == 1
+        assert self._eval("3 > 4") == 0
+        assert self._eval("4 >= 5") == 0
+        assert self._eval("5 == 5") == 1
+        assert self._eval("5 != 5") == 0
+
+    def test_logic(self):
+        assert self._eval("true && false") == 0
+        assert self._eval("true || false") == 1
+        assert self._eval("!false") == 1
+
+    def test_logic_normalizes_nonbool(self):
+        assert self._eval("7 && 9") == 1
+
+    def test_param_passthrough(self):
+        assert self._eval("p + 1", p=41) == 42
+
+    def test_unary_minus(self):
+        assert self._eval("0 - p", p=1) == WORD
+
+    @given(
+        st.integers(0, 10**9),
+        st.integers(0, 10**9),
+        st.integers(1, 10**9),
+        st.sampled_from(["+", "-", "*", "/", "%"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_binary_ops_match_python(self, a, b, c, op):
+        expression = "(p %s %d) %s %d" % (op, b, "+", c)
+        compiled = self._eval(expression, p=a)
+        if op == "+":
+            intermediate = (a + b) & WORD
+        elif op == "-":
+            intermediate = (a - b) & WORD
+        elif op == "*":
+            intermediate = (a * b) & WORD
+        elif op == "/":
+            intermediate = 0 if b == 0 else a // b
+        else:
+            intermediate = 0 if b == 0 else a % b
+        assert compiled == (intermediate + c) & WORD
+
+
+class TestStateAndControlFlow:
+    def test_state_var_persistence(self):
+        source = """
+contract S {
+    uint256 x;
+    function set(uint256 v) public { x = v; }
+    function get() public returns (uint256) { return x; }
+}
+"""
+        chain, contract, address = deploy(source)
+        chain.transact(USER, address, contract.calldata("set", 77))
+        assert call_value(chain, contract, address, "get") == 77
+
+    def test_state_var_initializer(self):
+        source = "contract S { uint256 x = 9; function get() public returns (uint256) { return x; } }"
+        chain, contract, address = deploy(source)
+        assert call_value(chain, contract, address, "get") == 9
+
+    def test_if_else(self):
+        source = """
+contract S {
+    function pick(uint256 c) public returns (uint256) {
+        if (c > 10) { return 1; } else { return 2; }
+    }
+}
+"""
+        chain, contract, address = deploy(source)
+        assert call_value(chain, contract, address, "pick", 11) == 1
+        assert call_value(chain, contract, address, "pick", 10) == 2
+
+    def test_while_loop(self):
+        source = """
+contract S {
+    function sum(uint256 n) public returns (uint256) {
+        uint256 total = 0;
+        uint256 i = 0;
+        while (i < n) {
+            i = i + 1;
+            total = total + i;
+        }
+        return total;
+    }
+}
+"""
+        chain, contract, address = deploy(source)
+        assert call_value(chain, contract, address, "sum", 10) == 55
+        assert call_value(chain, contract, address, "sum", 0) == 0
+
+    def test_locals_are_per_call(self):
+        source = """
+contract S {
+    function f(uint256 a) public returns (uint256) {
+        uint256 x = a + 1;
+        return x;
+    }
+}
+"""
+        chain, contract, address = deploy(source)
+        assert call_value(chain, contract, address, "f", 1) == 2
+        assert call_value(chain, contract, address, "f", 10) == 11
+
+    def test_require_reverts(self):
+        source = """
+contract S {
+    uint256 hits;
+    function gated(uint256 v) public { require(v == 7); hits += 1; }
+    function count() public returns (uint256) { return hits; }
+}
+"""
+        chain, contract, address = deploy(source)
+        bad = chain.transact(USER, address, contract.calldata("gated", 6))
+        assert not bad.success
+        good = chain.transact(USER, address, contract.calldata("gated", 7))
+        assert good.success
+        assert call_value(chain, contract, address, "count") == 1
+
+
+class TestMappings:
+    def test_mapping_read_write(self):
+        source = """
+contract M {
+    mapping(address => uint256) data;
+    function put(address k, uint256 v) public { data[k] = v; }
+    function get(address k) public returns (uint256) { return data[k]; }
+}
+"""
+        chain, contract, address = deploy(source)
+        chain.transact(USER, address, contract.calldata("put", 0x123, 55))
+        assert call_value(chain, contract, address, "get", 0x123) == 55
+        assert call_value(chain, contract, address, "get", 0x999) == 0
+
+    def test_nested_mapping(self):
+        source = """
+contract M {
+    mapping(address => mapping(address => uint256)) allowed;
+    function approve(address a, address b, uint256 v) public { allowed[a][b] = v; }
+    function get(address a, address b) public returns (uint256) { return allowed[a][b]; }
+}
+"""
+        chain, contract, address = deploy(source)
+        chain.transact(USER, address, contract.calldata("approve", 1, 2, 9))
+        assert call_value(chain, contract, address, "get", 1, 2) == 9
+        assert call_value(chain, contract, address, "get", 2, 1) == 0
+
+    def test_mapping_keyed_by_sender(self):
+        source = """
+contract M {
+    mapping(address => uint256) mine;
+    function set(uint256 v) public { mine[msg.sender] = v; }
+    function get() public returns (uint256) { return mine[msg.sender]; }
+}
+"""
+        chain, contract, address = deploy(source)
+        chain.transact(USER, address, contract.calldata("set", 5))
+        chain.transact(OTHER, address, contract.calldata("set", 6))
+        assert call_value(chain, contract, address, "get", sender=USER) == 5
+        assert call_value(chain, contract, address, "get", sender=OTHER) == 6
+
+    def test_compound_assign_on_mapping(self):
+        source = """
+contract M {
+    mapping(address => uint256) data;
+    function add(address k, uint256 v) public { data[k] += v; }
+    function get(address k) public returns (uint256) { return data[k]; }
+}
+"""
+        chain, contract, address = deploy(source)
+        chain.transact(USER, address, contract.calldata("add", 7, 3))
+        chain.transact(USER, address, contract.calldata("add", 7, 4))
+        assert call_value(chain, contract, address, "get", 7) == 7
+
+    def test_mapping_slots_match_solidity_layout(self):
+        from repro.evm.hashing import mapping_slot
+
+        source = """
+contract M {
+    uint256 pad;
+    mapping(address => uint256) data;
+    function put(address k, uint256 v) public { data[k] = v; }
+}
+"""
+        chain, contract, address = deploy(source)
+        chain.transact(USER, address, contract.calldata("put", 0xABC, 31337))
+        assert chain.state.get_storage(address, mapping_slot(0xABC, 1)) == 31337
+
+
+class TestModifiersAndCalls:
+    def test_modifier_guards(self):
+        source = """
+contract G {
+    address owner;
+    modifier onlyOwner() { require(msg.sender == owner); _; }
+    constructor() { owner = msg.sender; }
+    function privileged() public onlyOwner returns (uint256) { return 1; }
+}
+"""
+        chain, contract, address = deploy(source)
+        denied = chain.call(USER, address, contract.calldata("privileged"))
+        assert not denied.success
+        allowed = chain.call(OWNER, address, contract.calldata("privileged"))
+        assert allowed.success
+
+    def test_modifier_with_argument(self):
+        source = """
+contract G {
+    modifier atLeast(uint256 n, uint256 v) { require(v >= n); _; }
+    function f(uint256 v) public atLeast(10, v) returns (uint256) { return v; }
+}
+"""
+        chain, contract, address = deploy(source)
+        assert call_value(chain, contract, address, "f", 15) == 15
+        denied = chain.call(USER, address, contract.calldata("f", 5))
+        assert not denied.success
+
+    def test_modifier_statements_after_placeholder(self):
+        source = """
+contract G {
+    uint256 count;
+    modifier counted() { _; count += 1; }
+    function f() public counted { }
+    function get() public returns (uint256) { return count; }
+}
+"""
+        chain, contract, address = deploy(source)
+        chain.transact(USER, address, contract.calldata("f"))
+        assert call_value(chain, contract, address, "get") == 1
+
+    def test_internal_calls_nested(self):
+        source = """
+contract I {
+    function double(uint256 x) internal returns (uint256) { return x + x; }
+    function quad(uint256 x) internal returns (uint256) { return double(double(x)); }
+    function run(uint256 x) public returns (uint256) { return quad(x) + 1; }
+}
+"""
+        chain, contract, address = deploy(source)
+        assert call_value(chain, contract, address, "run", 3) == 13
+
+    def test_internal_call_multiple_args_order(self):
+        source = """
+contract I {
+    function sub(uint256 a, uint256 b) internal returns (uint256) { return a - b; }
+    function run() public returns (uint256) { return sub(10, 4); }
+}
+"""
+        chain, contract, address = deploy(source)
+        assert call_value(chain, contract, address, "run") == 6
+
+    def test_external_call_between_contracts(self):
+        chain = Blockchain()
+        chain.fund(OWNER, 10**18)
+        target_source = """
+contract Target {
+    uint256 stored;
+    function set(uint256 v) public { stored = v; }
+    function get() public returns (uint256) { return stored; }
+}
+"""
+        target = compile_source(target_source)
+        target_address = chain.deploy(OWNER, target.init_with_args()).contract_address
+        caller_source = """
+contract Caller {
+    function poke(address t, uint256 v) public returns (bool) {
+        return call(t, "set(uint256)", v);
+    }
+}
+"""
+        caller = compile_source(caller_source)
+        caller_address = chain.deploy(OWNER, caller.init_with_args()).contract_address
+        receipt = chain.transact(
+            OWNER, caller_address, caller.calldata("poke", target_address, 88)
+        )
+        assert receipt.success
+        assert chain.state.get_storage(target_address, 0) == 88
+
+
+class TestConstructorsAndBuiltins:
+    def test_constructor_args(self):
+        source = """
+contract C {
+    address boss;
+    uint256 cap;
+    constructor(address b, uint256 c) { boss = b; cap = c; }
+    function getCap() public returns (uint256) { return cap; }
+}
+"""
+        chain, contract, address = deploy(source, 0x777, 424242)
+        assert call_value(chain, contract, address, "getCap") == 424242
+        assert chain.state.get_storage(address, 0) == 0x777
+
+    def test_constructor_sets_sender_as_owner(self):
+        source = """
+contract C {
+    address owner;
+    constructor() { owner = msg.sender; }
+}
+"""
+        chain, contract, address = deploy(source)
+        assert chain.state.get_storage(address, 0) == OWNER
+
+    def test_selfdestruct_builtin(self):
+        source = """
+contract C {
+    function die(address to) public { selfdestruct(to); }
+}
+"""
+        chain, contract, address = deploy(source, value=500)
+        receipt = chain.transact(USER, address, contract.calldata("die", 0xF00))
+        assert receipt.success
+        assert chain.state.is_destroyed(address)
+        assert chain.state.get_balance(0xF00) == 500
+
+    def test_transfer_builtin(self):
+        source = """
+contract C {
+    function pay(address to, uint256 amount) public { transfer(to, amount); }
+}
+"""
+        chain, contract, address = deploy(source, value=1000)
+        chain.transact(USER, address, contract.calldata("pay", 0xF01, 300))
+        assert chain.state.get_balance(0xF01) == 300
+        assert chain.state.get_balance(address) == 700
+
+    def test_balance_builtin(self):
+        source = """
+contract C {
+    function myBalance() public returns (uint256) { return balance(this); }
+}
+"""
+        chain, contract, address = deploy(source, value=900)
+        assert call_value(chain, contract, address, "myBalance") == 900
+
+    def test_sha3_builtin(self):
+        from repro.evm.hashing import keccak_int
+
+        source = """
+contract C {
+    function h(uint256 x) public returns (uint256) { return sha3(x); }
+}
+"""
+        chain, contract, address = deploy(source)
+        expected = keccak_int((5).to_bytes(32, "big"))
+        assert call_value(chain, contract, address, "h", 5) == expected
+
+    def test_msg_value(self):
+        source = """
+contract C {
+    uint256 got;
+    function take() public { got = msg.value; }
+    function get() public returns (uint256) { return got; }
+}
+"""
+        chain, contract, address = deploy(source)
+        chain.transact(USER, address, contract.calldata("take"), value=123)
+        assert call_value(chain, contract, address, "get") == 123
+
+    def test_fallback_accepts_plain_transfer(self):
+        source = "contract C { uint256 x; function f() public { x = 1; } }"
+        chain, contract, address = deploy(source)
+        receipt = chain.transact(USER, address, b"", value=42)
+        assert receipt.success
+        assert chain.state.get_balance(address) == 42
+
+    def test_unknown_selector_stops(self):
+        source = "contract C { function f() public { } }"
+        chain, contract, address = deploy(source)
+        receipt = chain.transact(USER, address, b"\xde\xad\xbe\xef")
+        assert receipt.success  # fallback STOP
+
+
+class TestCompiledContractApi:
+    def test_calldata_validates_arity(self, victim_contract):
+        with pytest.raises(ValueError):
+            victim_contract.calldata("referAdmin")
+
+    def test_calldata_rejects_internal(self):
+        contract = compile_source(
+            "contract C { function f() internal {} function g() public {} }"
+        )
+        with pytest.raises(ValueError):
+            contract.calldata("f")
+
+    def test_init_with_args_validates_arity(self, victim_contract):
+        with pytest.raises(ValueError):
+            victim_contract.init_with_args(1)
+
+    def test_compile_source_multi_returns_dict(self):
+        compiled = compile_source("contract A {} contract B {}")
+        assert set(compiled) == {"A", "B"}
+
+    def test_compile_source_named_pick(self):
+        compiled = compile_source("contract A {} contract B {}", "B")
+        assert compiled.name == "B"

@@ -1,0 +1,118 @@
+"""``for`` loop sugar: parsing, desugaring, execution."""
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.minisol import ast_nodes as ast
+from repro.minisol import compile_source
+from repro.minisol.abi import decode_word
+from repro.minisol.parser import ParseError, parse
+
+
+def run(source, fn, *args):
+    contract = compile_source(source)
+    chain = Blockchain()
+    chain.fund(1, 10**18)
+    address = chain.deploy(1, contract.init_with_args()).contract_address
+    result = chain.call(1, address, contract.calldata(fn, *args))
+    assert result.success, result.error
+    return decode_word(result.return_data)
+
+
+class TestDesugaring:
+    def test_for_becomes_while(self):
+        program = parse(
+            "contract C { function f() public {"
+            " for (uint256 i = 0; i < 3; i += 1) { } } }"
+        )
+        outer = program.contracts[0].function("f").body.statements[0]
+        assert isinstance(outer, ast.Block)
+        assert isinstance(outer.statements[0], ast.VarDecl)
+        assert isinstance(outer.statements[1], ast.While)
+
+    def test_empty_init_and_cond(self):
+        program = parse(
+            "contract C { function f(uint256 i) public {"
+            " for (; ; i += 1) { return; } } }"
+        )
+        outer = program.contracts[0].function("f").body.statements[0]
+        loop = outer.statements[0]
+        assert isinstance(loop, ast.While)
+        assert isinstance(loop.condition, ast.BoolLiteral)
+
+    def test_assignment_initializer(self):
+        program = parse(
+            "contract C { function f(uint256 i) public {"
+            " for (i = 0; i < 2; i += 1) { } } }"
+        )
+        outer = program.contracts[0].function("f").body.statements[0]
+        assert isinstance(outer.statements[0], ast.Assign)
+
+    def test_bad_initializer(self):
+        with pytest.raises(ParseError):
+            parse("contract C { function f() public { for (1 + 2; true; ) { } } }")
+
+
+class TestExecution:
+    def test_sum(self):
+        source = """
+contract F {
+    function sum(uint256 n) public returns (uint256) {
+        uint256 total = 0;
+        for (uint256 i = 1; i <= n; i += 1) { total += i; }
+        return total;
+    }
+}
+"""
+        assert run(source, "sum", 10) == 55
+        assert run(source, "sum", 0) == 0
+
+    def test_factorial(self):
+        source = """
+contract F {
+    function fact(uint256 n) public returns (uint256) {
+        uint256 acc = 1;
+        for (uint256 i = 2; i <= n; i += 1) { acc = acc * i; }
+        return acc;
+    }
+}
+"""
+        assert run(source, "fact", 5) == 120
+
+    def test_nested_for(self):
+        source = """
+contract F {
+    function grid(uint256 n) public returns (uint256) {
+        uint256 count = 0;
+        for (uint256 i = 0; i < n; i += 1) {
+            for (uint256 j = 0; j < n; j += 1) {
+                count += 1;
+            }
+        }
+        return count;
+    }
+}
+"""
+        assert run(source, "grid", 4) == 16
+
+    def test_for_over_array(self):
+        source = """
+contract F {
+    uint256[5] cells;
+    function fill(uint256 base) public {
+        for (uint256 i = 0; i < 5; i += 1) { cells[i] = base + i; }
+    }
+    function total() public returns (uint256) {
+        uint256 acc = 0;
+        for (uint256 i = 0; i < 5; i += 1) { acc += cells[i]; }
+        return acc;
+    }
+}
+"""
+        contract = compile_source(source)
+        chain = Blockchain()
+        chain.fund(1, 10**18)
+        address = chain.deploy(1, contract.init_with_args()).contract_address
+        chain.transact(1, address, contract.calldata("fill", 10))
+        result = chain.call(1, address, contract.calldata("total"))
+        assert decode_word(result.return_data) == 10 + 11 + 12 + 13 + 14

@@ -1,0 +1,209 @@
+"""MiniSol parser: AST shapes and syntax errors."""
+
+import pytest
+
+from repro.minisol import ast_nodes as ast
+from repro.minisol.parser import ParseError, parse
+
+
+def parse_contract(body):
+    return parse("contract C { %s }" % body).contract("C")
+
+
+class TestContractStructure:
+    def test_empty_contract(self):
+        program = parse("contract Empty {}")
+        assert program.contract("Empty").functions == []
+
+    def test_multiple_contracts(self):
+        program = parse("contract A {} contract B {}")
+        assert [c.name for c in program.contracts] == ["A", "B"]
+
+    def test_state_vars_in_order(self):
+        contract = parse_contract("uint256 a; address b; bool c;")
+        assert [v.name for v in contract.state_vars] == ["a", "b", "c"]
+        assert str(contract.state_vars[0].var_type) == "uint256"
+
+    def test_uint_alias(self):
+        contract = parse_contract("uint x;")
+        assert str(contract.state_vars[0].var_type) == "uint256"
+
+    def test_mapping_type(self):
+        contract = parse_contract("mapping(address => bool) m;")
+        mapping = contract.state_vars[0].var_type
+        assert isinstance(mapping, ast.MappingType)
+        assert mapping.key.name == "address"
+
+    def test_nested_mapping(self):
+        contract = parse_contract("mapping(address => mapping(address => uint256)) m;")
+        mapping = contract.state_vars[0].var_type
+        assert isinstance(mapping.value, ast.MappingType)
+
+    def test_state_var_initializer(self):
+        contract = parse_contract("uint256 x = 5;")
+        assert isinstance(contract.state_vars[0].initializer, ast.NumberLiteral)
+
+    def test_constructor(self):
+        contract = parse_contract("constructor(address a) { }")
+        assert contract.constructor is not None
+        assert contract.constructor.params[0].name == "a"
+
+    def test_duplicate_constructor_rejected(self):
+        with pytest.raises(ParseError):
+            parse_contract("constructor() {} constructor() {}")
+
+
+class TestFunctions:
+    def test_visibility_default_public(self):
+        contract = parse_contract("function f() { }")
+        assert contract.function("f").visibility == "public"
+
+    def test_internal_visibility(self):
+        contract = parse_contract("function f() internal { }")
+        assert not contract.function("f").is_public
+
+    def test_returns_clause(self):
+        contract = parse_contract("function f() public returns (uint256) { return 1; }")
+        assert contract.function("f").return_type.name == "uint256"
+
+    def test_ignored_mutability_keywords(self):
+        contract = parse_contract("function f() public view returns (bool) { return true; }")
+        assert contract.function("f").return_type.name == "bool"
+
+    def test_modifier_invocation(self):
+        contract = parse_contract(
+            "modifier only() { _; } function f() public only { }"
+        )
+        assert contract.function("f").modifiers[0].name == "only"
+
+    def test_modifier_with_args(self):
+        contract = parse_contract(
+            "modifier atLeast(uint256 n) { _; } function f() public atLeast(3) { }"
+        )
+        invocation = contract.function("f").modifiers[0]
+        assert isinstance(invocation.args[0], ast.NumberLiteral)
+
+    def test_signature(self):
+        contract = parse_contract("function f(address a, uint256 b) public { }")
+        assert contract.function("f").signature == "f(address,uint256)"
+
+
+class TestStatements:
+    def _first_stmt(self, body):
+        contract = parse_contract("function f(uint256 p) public { %s }" % body)
+        return contract.function("f").body.statements[0]
+
+    def test_vardecl(self):
+        stmt = self._first_stmt("uint256 x = p + 1;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert isinstance(stmt.initializer, ast.BinaryOp)
+
+    def test_assignment(self):
+        assert isinstance(self._first_stmt("p = 1;"), ast.Assign)
+
+    def test_compound_assignment(self):
+        stmt = self._first_stmt("p += 2;")
+        assert stmt.op == "+="
+
+    def test_indexed_assignment(self):
+        contract = parse_contract(
+            "mapping(address => bool) m; function f(address a) public { m[a] = true; }"
+        )
+        stmt = contract.function("f").body.statements[0]
+        assert isinstance(stmt.target, ast.IndexAccess)
+
+    def test_if_else(self):
+        stmt = self._first_stmt("if (p > 1) { p = 1; } else { p = 2; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.else_branch is not None
+
+    def test_while(self):
+        assert isinstance(self._first_stmt("while (p > 0) { p -= 1; }"), ast.While)
+
+    def test_require(self):
+        assert isinstance(self._first_stmt("require(p == 1);"), ast.Require)
+
+    def test_return_void(self):
+        stmt = self._first_stmt("return;")
+        assert isinstance(stmt, ast.Return)
+        assert stmt.value is None
+
+    def test_placeholder_in_modifier(self):
+        contract = parse_contract("modifier m() { _; }")
+        assert isinstance(contract.modifiers[0].body.statements[0], ast.Placeholder)
+
+    def test_expression_statement(self):
+        assert isinstance(self._first_stmt("selfdestruct(msg.sender);"), ast.ExprStmt)
+
+    def test_invalid_assign_target(self):
+        with pytest.raises(ParseError):
+            self._first_stmt("1 = 2;")
+
+
+class TestExpressions:
+    def _expr(self, text):
+        contract = parse_contract(
+            "function f(uint256 p, address q) public returns (uint256) { return %s; }" % text
+        )
+        return contract.function("f").body.statements[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesized(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_comparison_and_logic(self):
+        expr = self._expr("p > 1 && p < 10")
+        assert expr.op == "&&"
+        assert expr.left.op == ">"
+
+    def test_unary_not_and_neg(self):
+        assert self._expr("!true").op == "!"
+        assert self._expr("-p").op == "-"
+
+    def test_msg_sender_and_value(self):
+        assert isinstance(self._expr("msg.sender"), ast.MsgSender)
+        assert isinstance(self._expr("msg.value"), ast.MsgValue)
+
+    def test_unknown_msg_member(self):
+        with pytest.raises(ParseError):
+            self._expr("msg.gas")
+
+    def test_this(self):
+        assert isinstance(self._expr("this"), ast.ThisExpr)
+
+    def test_chained_index(self):
+        expr = self._expr("p")  # placeholder; parse directly below
+        contract = parse_contract(
+            "mapping(address => mapping(address => uint256)) m;"
+            "function g(address a) public returns (uint256) { return m[a][a]; }"
+        )
+        ret = contract.function("g").body.statements[0].value
+        assert isinstance(ret, ast.IndexAccess)
+        assert isinstance(ret.base, ast.IndexAccess)
+
+    def test_internal_call(self):
+        expr = self._expr("helper(p, 1)")
+        assert isinstance(expr, ast.CallExpr)
+        assert len(expr.args) == 2
+
+    def test_external_call(self):
+        expr = self._expr('call(q, "ping()")')
+        assert isinstance(expr, ast.ExternalCall)
+        assert expr.signature == "ping()"
+
+    def test_external_call_with_args(self):
+        expr = self._expr('call(q, "set(uint256)", p)')
+        assert len(expr.args) == 1
+
+    def test_external_call_requires_signature(self):
+        with pytest.raises(ParseError):
+            self._expr("call(q)")
+
+    def test_number_formats(self):
+        assert self._expr("0x10").value == 16
+        assert self._expr("10").value == 10

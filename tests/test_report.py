@@ -1,0 +1,87 @@
+"""Report objects and the report-emitting CLI paths."""
+
+import json
+
+import pytest
+
+from repro.core import analyze_bytecode
+from repro.core.report import ContractReport, SweepReport
+from repro.core.vulnerabilities import VULNERABILITY_KINDS
+
+
+class TestContractReport:
+    def test_from_result_fields(self, victim_contract):
+        result = analyze_bytecode(victim_contract.runtime)
+        report = ContractReport.from_result(
+            result, name="Victim", bytecode_size=len(victim_contract.runtime)
+        )
+        assert report.name == "Victim"
+        assert report.bytecode_size == len(victim_contract.runtime)
+        assert report.block_count == result.block_count
+        assert len(report.warnings) == len(result.warnings)
+
+    def test_json_roundtrip(self, victim_contract):
+        result = analyze_bytecode(victim_contract.runtime)
+        report = ContractReport.from_result(result, name="Victim")
+        data = json.loads(report.to_json())
+        assert data["name"] == "Victim"
+        kinds = {w["kind"] for w in data["warnings"]}
+        assert "accessible-selfdestruct" in kinds
+
+    def test_error_report(self):
+        from repro.core import AnalysisConfig
+
+        result = analyze_bytecode(b"\x60\x01" * 3, AnalysisConfig(max_lift_states=0))
+        report = ContractReport.from_result(result)
+        assert report.error is not None
+
+
+class TestSweepReport:
+    def _reports(self, contracts):
+        sweep = SweepReport()
+        for contract in contracts:
+            result = analyze_bytecode(contract.runtime)
+            sweep.add(ContractReport.from_result(result, name=contract.name))
+        return sweep
+
+    def test_counts(self, victim_contract, safe_contract):
+        sweep = self._reports([victim_contract, safe_contract])
+        assert sweep.total_contracts == 2
+        assert sweep.analyzed == 2
+        assert sweep.flagged == 1
+        assert 0 < sweep.flag_rate < 1
+
+    def test_kind_counts_keys(self, safe_contract):
+        sweep = self._reports([safe_contract])
+        assert set(sweep.kind_counts) == set(VULNERABILITY_KINDS)
+
+    def test_summary_json(self, victim_contract):
+        sweep = self._reports([victim_contract])
+        payload = json.loads(sweep.to_json())
+        assert payload["flagged"] == 1
+        assert len(payload["contracts"]) == 1
+        compact = json.loads(sweep.to_json(include_contracts=False))
+        assert "contracts" not in compact
+
+
+class TestCliJsonPaths:
+    def test_analyze_json(self, tmp_path, capsys):
+        from repro.cli import main
+        from tests.conftest import OPEN_KILL_SOURCE
+
+        path = tmp_path / "c.msol"
+        path.write_text(OPEN_KILL_SOURCE)
+        code = main(["analyze", "--source", str(path), "--json"])
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["warnings"]
+
+    def test_sweep_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        json_path = tmp_path / "sweep.json"
+        assert main(["sweep", "--size", "10", "--seed", "4", "--json", str(json_path)]) == 0
+        output = capsys.readouterr().out
+        assert "flag rate" in output
+        payload = json.loads(json_path.read_text())
+        assert payload["total_contracts"] == 10
