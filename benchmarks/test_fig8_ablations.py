@@ -134,6 +134,60 @@ def test_fig8c_conservative_storage(benchmark, analyzed, analyzed_conservative):
     assert ratios[TAINTED_OWNER] > 1.2
 
 
+def test_fig8_battery_shared_prefix_cache(corpus, benchmark):
+    """The four-config ablation battery through the shared-prefix cache:
+    byte-identical warning sets at a fraction of the cold cost (the
+    lift/facts/storage/guards prefix is configuration-independent and is
+    computed once per contract instead of once per config)."""
+    import time
+
+    from benchmarks.conftest import print_table
+    from repro.core import AnalysisConfig, analyze_bytecode
+    from repro.core.batch import analyze_battery
+
+    contracts = corpus[:150]
+    bytecodes = [contract.runtime for contract in contracts]
+    configs = [
+        AnalysisConfig(),
+        AnalysisConfig(model_storage_taint=False),
+        AnalysisConfig(model_guards=False),
+        AnalysisConfig(conservative_storage=True),
+    ]
+
+    started = time.monotonic()
+    cold = [
+        [analyze_bytecode(bytecode, config) for bytecode in bytecodes]
+        for config in configs
+    ]
+    cold_time = time.monotonic() - started
+
+    def battery():
+        return analyze_battery(bytecodes, configs, jobs=1)
+
+    summaries = benchmark.pedantic(battery, rounds=1, iterations=1)
+    started = time.monotonic()
+    summaries = analyze_battery(bytecodes, configs, jobs=1)
+    shared_time = time.monotonic() - started
+
+    for cold_results, summary in zip(cold, summaries):
+        for result, entry in zip(cold_results, summary.entries):
+            assert tuple(sorted({w.kind for w in result.warnings})) == entry.kinds
+
+    hits = sum(summary.cache_hits for summary in summaries)
+    speedup = cold_time / max(shared_time, 1e-9)
+    print_table(
+        "Fig. 8 battery: cold vs shared-prefix cache (%d contracts, 4 configs)"
+        % len(contracts),
+        ["mode", "seconds", "cache hits"],
+        [
+            ("cold", "%.2f" % cold_time, 0),
+            ("shared-prefix", "%.2f (%.2fx)" % (shared_time, speedup), hits),
+        ],
+    )
+    assert hits >= 3 * len(contracts)  # prefix re-used by the other configs
+    assert speedup > 1.5
+
+
 def test_fig8_accessible_selfdestruct_context(analyzed, analyzed_no_guards, benchmark):
     """Sanity anchor: without guards, accessible-selfdestruct floods to
     (nearly) every contract containing the opcode."""

@@ -53,6 +53,30 @@ def _add_input_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hex", help="hex-encoded runtime bytecode file")
 
 
+def _print_stage_profile(
+    stage_seconds, cache_hits: int, cache_misses: int, stream=None
+) -> None:
+    """Per-stage wall-clock breakdown (the ``--profile`` view)."""
+    from repro.core.pipeline import STAGE_NAMES
+
+    stream = stream if stream is not None else sys.stdout
+    total = sum(stage_seconds.values()) or 1.0
+    print("pipeline profile:", file=stream)
+    for name in STAGE_NAMES:
+        if name not in stage_seconds:
+            continue
+        seconds = stage_seconds[name]
+        print(
+            "  %-8s %9.3f ms  %5.1f%%"
+            % (name, 1000 * seconds, 100 * seconds / total),
+            file=stream,
+        )
+    for name in stage_seconds:
+        if name not in STAGE_NAMES:
+            print("  %-8s %9.3f ms" % (name, 1000 * stage_seconds[name]), file=stream)
+    print("  cache    %d hit(s) / %d miss(es)" % (cache_hits, cache_misses), file=stream)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     """``repro analyze``: run Ethainter on source or hex bytecode."""
     runtime = _read_bytecode(args)
@@ -64,6 +88,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     result = analyze_bytecode(runtime, config)
+    if args.profile:
+        # With --json, stdout must stay machine-parseable; the human
+        # breakdown goes to stderr (stage_seconds is in the JSON anyway).
+        stream = sys.stderr if args.json else sys.stdout
+        _print_stage_profile(
+            result.stage_seconds(), result.cache_hits, result.cache_misses,
+            stream=stream,
+        )
+        if result.deadline_exceeded:
+            print("  (deadline exceeded)", file=stream)
     if args.json:
         from repro.core.report import ContractReport
 
@@ -195,10 +229,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     from repro.core.report import ContractReport, SweepReport
 
+    from repro.core.pipeline import ArtifactCache
+
     corpus = generate_corpus(args.size, seed=args.seed)
+    cache = ArtifactCache(max_entries=max(4096, 8 * len(corpus)))
     sweep = SweepReport()
     for contract in corpus:
-        result = analyze_bytecode(contract.runtime)
+        result = analyze_bytecode(contract.runtime, cache=cache)
         sweep.add(
             ContractReport.from_result(
                 result, name=contract.name, bytecode_size=len(contract.runtime)
@@ -211,6 +248,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         100 * summary["flag_rate"], 1000 * summary["avg_elapsed_seconds"]))
     for kind, count in summary["kind_counts"].items():
         print("  %-32s %d" % (kind, count))
+    if args.profile:
+        _print_stage_profile(
+            summary["stage_seconds"],
+            summary["cache"]["hits"],
+            summary["cache"]["misses"],
+        )
+        if summary["deadline_exceeded"]:
+            print("  deadline exceeded on %d contract(s)" % summary["deadline_exceeded"])
     if args.json:
         _Path(args.json).write_text(sweep.to_json())
         print("full report written to %s" % args.json)
@@ -280,6 +325,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print Datalog derivation trees for each warning",
     )
+    analyze.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage wall-clock times and cache counters",
+    )
     analyze.set_defaults(func=cmd_analyze)
 
     abi = commands.add_parser("abi", help="print selectors and event signatures")
@@ -293,6 +343,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--size", type=int, default=100)
     sweep.add_argument("--seed", type=int, default=2020)
     sweep.add_argument("--json", help="write the full JSON report to this file")
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the aggregate per-stage wall-clock breakdown",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     compile_cmd = commands.add_parser("compile", help="compile MiniSol source")

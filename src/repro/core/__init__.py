@@ -24,6 +24,15 @@ from repro.core.analysis import (
     Warning,
     analyze_bytecode,
 )
+from repro.core.pipeline import (
+    ArtifactCache,
+    Deadline,
+    DeadlineExceeded,
+    Stage,
+    StageTiming,
+    STAGE_NAMES,
+    run_pipeline,
+)
 from repro.core.vulnerabilities import VULNERABILITY_KINDS
 
 __all__ = [
@@ -32,5 +41,12 @@ __all__ = [
     "AnalysisResult",
     "Warning",
     "analyze_bytecode",
+    "ArtifactCache",
+    "Deadline",
+    "DeadlineExceeded",
+    "Stage",
+    "StageTiming",
+    "STAGE_NAMES",
+    "run_pipeline",
     "VULNERABILITY_KINDS",
 ]

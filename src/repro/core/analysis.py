@@ -1,27 +1,29 @@
-"""The Ethainter analysis pipeline.
+"""The Ethainter analysis facade.
 
-:class:`EthainterAnalysis` ties the stages together:
+:class:`EthainterAnalysis` drives the staged pipeline in
+:mod:`repro.core.pipeline`:
 
     bytecode --lift--> TAC --extract--> facts --static strata--> storage/guard
     models --fixpoint--> taint --detect--> findings
 
 with a per-contract wall-clock budget (the paper uses a combined 120 s
-decompile+analyze cutoff; §6) and the Figure 8 ablation switches on
-:class:`AnalysisConfig`.
+decompile+analyze cutoff; §6) enforced cooperatively inside the fixpoints,
+the Figure 8 ablation switches on :class:`AnalysisConfig`, and an optional
+shared :class:`~repro.core.pipeline.ArtifactCache` that lets ablation
+sweeps re-use the configuration-independent lift+extract prefix.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.facts import ContractFacts, extract_facts
-from repro.core.guards import GuardModel, build_guard_model
-from repro.core.storage_model import StorageModel, build_storage_model
-from repro.core.taint import TaintAnalysis, TaintOptions, TaintResult
-from repro.core.vulnerabilities import Finding, VULNERABILITY_KINDS, detect
-from repro.decompiler import LiftError, lift
+from repro.core.facts import ContractFacts
+from repro.core.guards import GuardModel
+from repro.core.pipeline import ArtifactCache, StageTiming, run_pipeline
+from repro.core.storage_model import StorageModel
+from repro.core.taint import TaintOptions, TaintResult
+from repro.core.vulnerabilities import Finding, VULNERABILITY_KINDS
 from repro.ir.tac import TACProgram
 
 
@@ -81,13 +83,27 @@ class Warning:
 
 @dataclass
 class AnalysisResult:
-    """Everything produced for one contract."""
+    """Everything produced for one contract.
+
+    Terminal states are explicit and never overlap:
+
+    * ``error == "timeout"`` — a stage was *aborted* by the budget; there
+      are no warnings (``deadline_exceeded`` is also True).
+    * ``error is None`` and ``deadline_exceeded`` — the run *completed*
+      (warnings are valid) but crossed the budget late; it must be counted
+      as analyzed, not errored.
+    * ``error == "lift-error: ..."`` — decompilation failed.
+    """
 
     warnings: List[Warning] = field(default_factory=list)
     error: Optional[str] = None  # "timeout" | "lift-error: ..." | None
+    deadline_exceeded: bool = False
     elapsed_seconds: float = 0.0
     block_count: int = 0
     statement_count: int = 0
+    stage_timings: List[StageTiming] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
     taint: Optional[TaintResult] = None
     facts: Optional[ContractFacts] = None
     guards: Optional[GuardModel] = None
@@ -96,11 +112,17 @@ class AnalysisResult:
 
     @property
     def timed_out(self) -> bool:
+        """True when the budget *aborted* the run (late finishes are not
+        timeouts: their warnings are valid and they count as analyzed)."""
         return self.error == "timeout"
 
     @property
     def flagged(self) -> bool:
         return bool(self.warnings)
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Per-stage wall-clock seconds (the ``--profile`` breakdown)."""
+        return {timing.name: timing.seconds for timing in self.stage_timings}
 
     def kinds(self) -> Dict[str, int]:
         counts = {kind: 0 for kind in VULNERABILITY_KINDS}
@@ -113,73 +135,56 @@ class AnalysisResult:
 
 
 class EthainterAnalysis:
-    """Analyzes one contract's runtime bytecode."""
+    """Analyzes one contract's runtime bytecode.
 
-    def __init__(self, config: Optional[AnalysisConfig] = None):
+    Passing a shared :class:`ArtifactCache` makes repeated analyses of the
+    same bytecode (and ablation sweeps over it) re-use every stage output
+    whose configuration fingerprint matches.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AnalysisConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+    ):
         self.config = config or AnalysisConfig()
+        self.cache = cache
 
     def analyze(self, runtime_bytecode: bytes) -> AnalysisResult:
-        """Run the full pipeline (lift, model, fixpoint, detect)."""
-        started = time.monotonic()
-        result = AnalysisResult()
-        deadline = started + self.config.timeout_seconds
-
-        def out_of_time() -> bool:
-            return time.monotonic() > deadline
-
-        try:
-            program = lift(runtime_bytecode, max_states=self.config.max_lift_states)
-        except LiftError as error:
-            result.error = "lift-error: %s" % error
-            result.elapsed_seconds = time.monotonic() - started
-            return result
-
-        result.program = program
-        result.block_count = len(program.blocks)
-        result.statement_count = sum(
-            len(block.statements) for block in program.blocks.values()
+        """Run the staged pipeline (lift, model, fixpoint, detect)."""
+        outcome = run_pipeline(runtime_bytecode, self.config, cache=self.cache)
+        result = AnalysisResult(
+            error=outcome.error,
+            deadline_exceeded=outcome.deadline_exceeded,
+            elapsed_seconds=outcome.elapsed_seconds,
+            stage_timings=outcome.timings,
+            cache_hits=outcome.cache_hits,
+            cache_misses=outcome.cache_misses,
         )
-        if out_of_time():
-            result.error = "timeout"
-            result.elapsed_seconds = time.monotonic() - started
-            return result
-
-        facts = extract_facts(program)
-        storage = build_storage_model(facts)
-        guards = build_guard_model(facts, storage)
-        if out_of_time():
-            result.error = "timeout"
-            result.elapsed_seconds = time.monotonic() - started
-            return result
-
-        if self.config.engine == "datalog":
-            from repro.core.bytecode_datalog import analyze_with_datalog
-
-            taint = analyze_with_datalog(
-                facts=facts,
-                storage=storage,
-                guards=guards,
-                options=self.config.taint_options(),
+        artifacts = outcome.artifacts
+        program = artifacts.get("lift")
+        if program is not None:
+            result.program = program
+            result.block_count = len(program.blocks)
+            result.statement_count = sum(
+                len(block.statements) for block in program.blocks.values()
             )
-        else:
-            taint = TaintAnalysis(
-                facts, storage, guards, self.config.taint_options()
-            ).run()
-        findings = detect(facts, storage, guards, taint)
-
-        result.facts = facts
-        result.storage = storage
-        result.guards = guards
-        result.taint = taint
-        result.warnings = [Warning.from_finding(finding) for finding in findings]
-        result.elapsed_seconds = time.monotonic() - started
-        if out_of_time():
-            result.error = "timeout"
+        result.facts = artifacts.get("facts")
+        result.storage = artifacts.get("storage")
+        result.guards = artifacts.get("guards")
+        result.taint = artifacts.get("taint")
+        findings = artifacts.get("detect")
+        if findings is not None:
+            result.warnings = [
+                Warning.from_finding(finding) for finding in findings
+            ]
         return result
 
 
 def analyze_bytecode(
-    runtime_bytecode: bytes, config: Optional[AnalysisConfig] = None
+    runtime_bytecode: bytes,
+    config: Optional[AnalysisConfig] = None,
+    cache: Optional[ArtifactCache] = None,
 ) -> AnalysisResult:
     """One-shot convenience wrapper around :class:`EthainterAnalysis`."""
-    return EthainterAnalysis(config).analyze(runtime_bytecode)
+    return EthainterAnalysis(config, cache=cache).analyze(runtime_bytecode)

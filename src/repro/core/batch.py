@@ -3,12 +3,21 @@
 The paper analyzes the whole chain with "45 concurrent analysis processes"
 (§6); this module is the equivalent driver: it fans contract bytecodes out
 over a process pool (falling back to in-process execution for ``jobs=1`` or
-when a pool cannot be created) and collects per-contract summaries.
+when a pool cannot be created — recorded as a *degraded* run, never
+silently) and collects per-contract summaries as they complete
+(``imap_unordered``), so one slow contract does not delay collection of the
+rest.
 
 Worker processes return compact :class:`BatchEntry` summaries rather than
 full :class:`~repro.core.analysis.AnalysisResult` objects — the heavyweight
 artifacts (TAC program, taint sets) do not pickle cheaply and batch users
-only need the verdicts.
+only need the verdicts plus the per-stage timing profile.
+
+:func:`analyze_battery` runs *several configurations* (e.g. the Fig. 8
+four-config ablation battery) over one corpus, sharing a per-worker
+:class:`~repro.core.pipeline.ArtifactCache` so the configuration-independent
+lift/facts/storage/guards prefix is computed once per contract instead of
+once per (contract, configuration).
 """
 
 from __future__ import annotations
@@ -17,7 +26,8 @@ import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.analysis import AnalysisConfig, analyze_bytecode
+from repro.core.analysis import AnalysisConfig, AnalysisResult, analyze_bytecode
+from repro.core.pipeline import ArtifactCache
 from repro.core.vulnerabilities import VULNERABILITY_KINDS
 
 
@@ -30,6 +40,10 @@ class BatchEntry:
     error: Optional[str]
     elapsed_seconds: float
     statement_count: int
+    deadline_exceeded: bool = False
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def flagged(self) -> bool:
@@ -39,6 +53,10 @@ class BatchEntry:
 @dataclass
 class BatchSummary:
     entries: List[BatchEntry] = field(default_factory=list)
+    # Set when the process pool could not be used and the batch fell back
+    # to in-process execution (previously this degradation was silent).
+    degraded: bool = False
+    degraded_reason: str = ""
 
     @property
     def total(self) -> int:
@@ -52,6 +70,19 @@ class BatchSummary:
     def errors(self) -> int:
         return sum(1 for entry in self.entries if entry.error)
 
+    @property
+    def deadline_exceeded(self) -> int:
+        """Runs that crossed the budget (aborted *or* late-finished)."""
+        return sum(1 for entry in self.entries if entry.deadline_exceeded)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(entry.cache_hits for entry in self.entries)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(entry.cache_misses for entry in self.entries)
+
     def kind_counts(self) -> Dict[str, int]:
         counts = {kind: 0 for kind in VULNERABILITY_KINDS}
         for entry in self.entries:
@@ -59,64 +90,171 @@ class BatchSummary:
                 counts[kind] = counts.get(kind, 0) + 1
         return counts
 
+    def stage_seconds(self) -> Dict[str, float]:
+        """Aggregate wall-clock per pipeline stage across all entries."""
+        totals: Dict[str, float] = {}
+        for entry in self.entries:
+            for name, seconds in entry.stage_seconds.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
+
     @property
     def total_analysis_seconds(self) -> float:
         return sum(entry.elapsed_seconds for entry in self.entries)
 
 
-# Module-level worker state, initialized per process (configs are small and
-# picklable; passing them once via the initializer avoids re-pickling per
-# task).
-_WORKER_CONFIG: Optional[AnalysisConfig] = None
-
-
-def _init_worker(config: AnalysisConfig) -> None:
-    global _WORKER_CONFIG
-    _WORKER_CONFIG = config
-
-
-def _analyze_one(task: Tuple[int, bytes]) -> BatchEntry:
-    index, runtime = task
-    result = analyze_bytecode(runtime, _WORKER_CONFIG)
+def _entry_from_result(index: int, result: AnalysisResult) -> BatchEntry:
     return BatchEntry(
         index=index,
         kinds=tuple(sorted({warning.kind for warning in result.warnings})),
         error=result.error,
         elapsed_seconds=result.elapsed_seconds,
         statement_count=result.statement_count,
+        deadline_exceeded=result.deadline_exceeded,
+        stage_seconds=result.stage_seconds(),
+        cache_hits=result.cache_hits,
+        cache_misses=result.cache_misses,
     )
+
+
+# Module-level worker state, initialized per process (configs are small and
+# picklable; passing them once via the initializer avoids re-pickling per
+# task).  The cache lives per worker process: it cannot be shared across
+# processes, but within one worker it de-duplicates repeated bytecodes and,
+# for battery runs, shares the ablation-independent prefix across configs.
+_WORKER_CONFIGS: Tuple[AnalysisConfig, ...] = ()
+_WORKER_CACHE: Optional[ArtifactCache] = None
+
+
+def _init_worker(
+    configs: Tuple[AnalysisConfig, ...], cache_entries: int = 0
+) -> None:
+    global _WORKER_CONFIGS, _WORKER_CACHE
+    _WORKER_CONFIGS = configs
+    _WORKER_CACHE = ArtifactCache(cache_entries) if cache_entries > 0 else None
+
+
+def _analyze_one(task: Tuple[int, bytes]) -> BatchEntry:
+    index, runtime = task
+    result = analyze_bytecode(runtime, _WORKER_CONFIGS[0], cache=_WORKER_CACHE)
+    return _entry_from_result(index, result)
+
+
+def _analyze_battery_one(task: Tuple[int, bytes]) -> Tuple[BatchEntry, ...]:
+    """Analyze one contract under every configured ablation, sharing the
+    worker cache so the lift+extract prefix is computed once."""
+    index, runtime = task
+    return tuple(
+        _entry_from_result(
+            index, analyze_bytecode(runtime, config, cache=_WORKER_CACHE)
+        )
+        for config in _WORKER_CONFIGS
+    )
+
+
+def _pool_run(tasks, worker, configs, jobs, cache_entries):
+    """Run ``worker`` over ``tasks`` on a process pool; returns
+    (results, degraded_reason)."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        context = multiprocessing.get_context()
+    chunksize = max(1, len(tasks) // (jobs * 4))
+    try:
+        with context.Pool(
+            processes=jobs,
+            initializer=_init_worker,
+            initargs=(configs, cache_entries),
+        ) as pool:
+            # imap_unordered: collect completions as they arrive instead of
+            # blocking on in-order delivery behind the slowest contract.
+            return list(pool.imap_unordered(worker, tasks, chunksize=chunksize)), None
+    except (OSError, RuntimeError) as error:  # pool unavailable: degrade
+        reason = "%s: %s" % (type(error).__name__, error)
+        _init_worker(configs, cache_entries)
+        return [worker(task) for task in tasks], reason
 
 
 def analyze_many(
     bytecodes: Sequence[bytes],
     config: Optional[AnalysisConfig] = None,
     jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
 ) -> BatchSummary:
     """Analyze ``bytecodes``; ``jobs > 1`` uses a process pool.
 
     Entries come back ordered by input index regardless of completion
-    order.
+    order.  A shared ``cache`` is honored in-process; pool workers build
+    their own per-process caches instead (caches do not cross ``fork``).
     """
     config = config or AnalysisConfig()
     tasks = list(enumerate(bytecodes))
     summary = BatchSummary()
 
     if jobs <= 1 or len(tasks) < 2:
-        _init_worker(config)
-        summary.entries = [_analyze_one(task) for task in tasks]
+        local_cache = cache if cache is not None else ArtifactCache()
+        entries = [
+            _entry_from_result(
+                index, analyze_bytecode(runtime, config, cache=local_cache)
+            )
+            for index, runtime in tasks
+        ]
+        summary.entries = entries
         return summary
 
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
-    try:
-        with context.Pool(
-            processes=jobs, initializer=_init_worker, initargs=(config,)
-        ) as pool:
-            entries = pool.map(_analyze_one, tasks, chunksize=max(1, len(tasks) // (jobs * 4)))
-    except (OSError, RuntimeError):  # pool unavailable: degrade gracefully
-        _init_worker(config)
-        entries = [_analyze_one(task) for task in tasks]
+    entries, degraded_reason = _pool_run(
+        tasks, _analyze_one, (config,), jobs, cache_entries=256
+    )
+    if degraded_reason is not None:
+        summary.degraded = True
+        summary.degraded_reason = degraded_reason
     summary.entries = sorted(entries, key=lambda entry: entry.index)
     return summary
+
+
+def analyze_battery(
+    bytecodes: Sequence[bytes],
+    configs: Sequence[AnalysisConfig],
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+) -> List[BatchSummary]:
+    """Analyze ``bytecodes`` under every configuration in ``configs``.
+
+    Returns one :class:`BatchSummary` per configuration, index-aligned with
+    ``configs``.  All configurations of one contract run in the same worker
+    against a shared :class:`ArtifactCache`, so stages whose configuration
+    fingerprints agree (the lift/facts/storage/guards prefix for the Fig. 8
+    ablations) are computed once per contract.
+    """
+    if not configs:
+        raise ValueError("analyze_battery needs at least one configuration")
+    configs = tuple(configs)
+    tasks = list(enumerate(bytecodes))
+    summaries = [BatchSummary() for _ in configs]
+
+    if jobs <= 1 or len(tasks) < 2:
+        local_cache = cache if cache is not None else ArtifactCache(
+            max_entries=max(4096, 8 * len(tasks) * max(len(configs), 1))
+        )
+        rows = [
+            tuple(
+                _entry_from_result(
+                    index, analyze_bytecode(runtime, config, cache=local_cache)
+                )
+                for config in configs
+            )
+            for index, runtime in tasks
+        ]
+        degraded_reason = None
+    else:
+        rows, degraded_reason = _pool_run(
+            tasks, _analyze_battery_one, configs, jobs, cache_entries=256
+        )
+    for row in sorted(rows, key=lambda row: row[0].index):
+        for position, entry in enumerate(row):
+            summaries[position].entries.append(entry)
+    if degraded_reason is not None:
+        for summary in summaries:
+            summary.degraded = True
+            summary.degraded_reason = degraded_reason
+    return summaries

@@ -241,7 +241,7 @@ def analyze_with_datalog(
     if facts is None:
         if runtime_bytecode is None:
             raise ValueError("need runtime_bytecode or extracted facts")
-        program = lift(runtime_bytecode)
+        program = lift(runtime_bytecode, deadline=options.deadline)
         facts = extract_facts(program)
     if storage is None:
         storage = build_storage_model(facts)
@@ -250,7 +250,7 @@ def analyze_with_datalog(
 
     database = _facts_to_database(facts, storage, guards, options)
     engine = Engine(_rules(options), track_provenance=track_provenance)
-    engine.evaluate(database)
+    engine.evaluate(database, deadline=options.deadline)
 
     result = TaintResult()
     result.input_tainted = {row[0] for row in database.facts("InputTaint")}

@@ -3,7 +3,9 @@
 The live deployment the paper describes (contract-library.com) publishes
 per-contract vulnerability reports and chain-level statistics; this module
 provides the equivalent report objects for single contracts and batch
-sweeps, used by the CLI's ``analyze --json`` and ``sweep`` commands.
+sweeps, used by the CLI's ``analyze --json`` and ``sweep`` commands.  The
+per-stage pipeline profile (``--profile``) and artifact-cache counters
+surface here too, so sweep reports record where wall-clock actually went.
 """
 
 from __future__ import annotations
@@ -26,7 +28,11 @@ class ContractReport:
     statement_count: int
     elapsed_seconds: float
     error: Optional[str]
+    deadline_exceeded: bool = False
     warnings: List[Dict] = field(default_factory=list)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @classmethod
     def from_result(
@@ -39,6 +45,7 @@ class ContractReport:
             statement_count=result.statement_count,
             elapsed_seconds=round(result.elapsed_seconds, 6),
             error=result.error,
+            deadline_exceeded=result.deadline_exceeded,
             warnings=[
                 {
                     "kind": warning.kind,
@@ -49,6 +56,12 @@ class ContractReport:
                 }
                 for warning in result.warnings
             ],
+            stage_seconds={
+                name: round(seconds, 6)
+                for name, seconds in result.stage_seconds().items()
+            },
+            cache_hits=result.cache_hits,
+            cache_misses=result.cache_misses,
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -63,16 +76,30 @@ class SweepReport:
     analyzed: int = 0
     errors: int = 0
     flagged: int = 0
+    deadline_exceeded: int = 0
     kind_counts: Dict[str, int] = field(
         default_factory=lambda: {kind: 0 for kind in VULNERABILITY_KINDS}
     )
     total_elapsed_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
     contracts: List[ContractReport] = field(default_factory=list)
 
     def add(self, report: ContractReport) -> None:
         self.total_contracts += 1
         self.total_elapsed_seconds += report.elapsed_seconds
+        for name, seconds in report.stage_seconds.items():
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+        self.cache_hits += report.cache_hits
+        self.cache_misses += report.cache_misses
+        if report.deadline_exceeded:
+            self.deadline_exceeded += 1
         if report.error:
+            # Aborted run (timeout mid-stage, lift failure): no valid
+            # warnings.  Late finishes arrive with error=None and
+            # deadline_exceeded=True and are counted as analyzed — they are
+            # never double-counted as both flagged and errored.
             self.errors += 1
             self.contracts.append(report)
             return
@@ -95,11 +122,17 @@ class SweepReport:
             "analyzed": self.analyzed,
             "errors": self.errors,
             "flagged": self.flagged,
+            "deadline_exceeded": self.deadline_exceeded,
             "flag_rate": round(self.flag_rate, 4),
             "kind_counts": dict(self.kind_counts),
             "avg_elapsed_seconds": round(
                 self.total_elapsed_seconds / max(self.total_contracts, 1), 6
             ),
+            "stage_seconds": {
+                name: round(seconds, 6)
+                for name, seconds in sorted(self.stage_seconds.items())
+            },
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
         }
 
     def to_json(self, indent: int = 2, include_contracts: bool = True) -> str:

@@ -51,6 +51,10 @@ class TaintOptions:
     model_storage_taint: bool = True
     conservative_storage: bool = False
     max_iterations: int = 10_000
+    # Cooperative wall-clock budget (duck-typed: ``check()`` raises when
+    # spent), checked once per fixpoint iteration so a slow-converging run
+    # respects the paper's 120 s decompile+analyze cutoff.
+    deadline: Optional[object] = None
 
 
 @dataclass
@@ -162,6 +166,8 @@ class TaintAnalysis:
             result.iterations += 1
             if result.iterations > options.max_iterations:
                 raise RuntimeError("taint fixpoint did not converge")
+            if options.deadline is not None:
+                options.deadline.check()
             changed = False
 
             # 1. Guard compromise (skipped entirely when guards are not

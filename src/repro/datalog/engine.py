@@ -39,8 +39,10 @@ class Database:
 
     def __init__(self) -> None:
         self._relations: Dict[str, Set[Tuple]] = {}
-        # (relation, bound positions) -> {key tuple: [facts]}
-        self._indexes: Dict[Tuple[str, Tuple[int, ...]], Dict[Tuple, List[Tuple]]] = {}
+        # relation -> {bound positions: {key tuple: [facts]}} — nested by
+        # relation so inserts only touch the inserted relation's indexes
+        # (a flat map made every add() scan every index in the database).
+        self._indexes: Dict[str, Dict[Tuple[int, ...], Dict[Tuple, List[Tuple]]]] = {}
 
     def add(self, relation: str, fact: Iterable) -> bool:
         """Insert one fact; returns True if it was new."""
@@ -49,11 +51,10 @@ class Database:
         if fact_tuple in rel:
             return False
         rel.add(fact_tuple)
-        # Update any existing indexes incrementally.
-        for (indexed_relation, positions), index in self._indexes.items():
-            if indexed_relation == relation:
-                key = tuple(fact_tuple[p] for p in positions)
-                index.setdefault(key, []).append(fact_tuple)
+        # Update this relation's existing indexes incrementally.
+        for positions, index in self._indexes.get(relation, {}).items():
+            key = tuple(fact_tuple[p] for p in positions)
+            index.setdefault(key, []).append(fact_tuple)
         return True
 
     def add_all(self, relation: str, facts: Iterable[Iterable]) -> int:
@@ -82,14 +83,14 @@ class Database:
         """Facts whose values at ``positions`` equal ``key`` (indexed)."""
         if not positions:
             return list(self._relations.get(relation, ()))
-        index_key = (relation, positions)
-        index = self._indexes.get(index_key)
+        relation_indexes = self._indexes.setdefault(relation, {})
+        index = relation_indexes.get(positions)
         if index is None:
             index = {}
             for fact in self._relations.get(relation, ()):
                 fact_key = tuple(fact[p] for p in positions)
                 index.setdefault(fact_key, []).append(fact)
-            self._indexes[index_key] = index
+            relation_indexes[positions] = index
         return index.get(key, [])
 
     def clone_relation(self, relation: str) -> Set[Tuple]:
@@ -221,14 +222,28 @@ class Engine:
 
     # ------------------------------------------------------------ evaluation
 
-    def evaluate(self, database: Database, max_iterations: int = 1_000_000) -> Database:
-        """Run all strata to fixpoint, mutating and returning ``database``."""
+    def evaluate(
+        self,
+        database: Database,
+        max_iterations: int = 1_000_000,
+        deadline=None,
+    ) -> Database:
+        """Run all strata to fixpoint, mutating and returning ``database``.
+
+        ``deadline`` is an optional cooperative budget (duck-typed:
+        ``check()`` raises when spent), consulted once per semi-naive
+        iteration so runaway recursion respects the caller's cutoff.
+        """
         for stratum in self.strata:
-            self._evaluate_stratum(database, stratum, max_iterations)
+            self._evaluate_stratum(database, stratum, max_iterations, deadline)
         return database
 
     def _evaluate_stratum(
-        self, database: Database, rules: List[Rule], max_iterations: int
+        self,
+        database: Database,
+        rules: List[Rule],
+        max_iterations: int,
+        deadline=None,
     ) -> None:
         heads = {rule.head.relation for rule in rules}
 
@@ -245,6 +260,8 @@ class Engine:
             iterations += 1
             if iterations > max_iterations:
                 raise RuntimeError("datalog evaluation did not converge")
+            if deadline is not None:
+                deadline.check()
             new_delta: Dict[str, Set[Tuple]] = {rel: set() for rel in heads}
             for rule in rules:
                 recursive_positions = [

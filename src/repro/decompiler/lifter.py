@@ -117,12 +117,17 @@ class _Lifter:
         max_stack: int = 128,
         max_clones: int = 64,
         max_states: int = 20_000,
+        deadline=None,
     ):
         self.code = code
         self.static_blocks = _split_blocks(code)
         self.max_stack = max_stack
         self.max_clones = max_clones
         self.max_states = max_states
+        # Duck-typed cooperative budget (``check()`` raises when spent) —
+        # see repro.core.pipeline.Deadline.  Checked per worklist item so a
+        # state-explosion-prone lift cannot blow through the budget.
+        self.deadline = deadline
         self.instances: Dict[Tuple[int, Optional[Tuple[Optional[int], ...]]], _Instance] = {}
         self.clone_count: Dict[int, int] = {}
         self.worklist: List[_Instance] = []
@@ -206,6 +211,8 @@ class _Lifter:
         if entry is None:
             return TACProgram()
         while self.worklist:
+            if self.deadline is not None:
+                self.deadline.check()
             instance = self.worklist.pop()
             if instance.processed:
                 continue
@@ -403,7 +410,9 @@ class _Lifter:
 def lift(code: bytes, **caps) -> TACProgram:
     """Decompile ``code`` into a :class:`TACProgram`.
 
-    Keyword caps: ``max_stack``, ``max_clones``, ``max_states`` — see
-    :class:`_Lifter`.  Raises :class:`LiftError` on state explosion.
+    Keyword caps: ``max_stack``, ``max_clones``, ``max_states``, plus an
+    optional cooperative ``deadline`` — see :class:`_Lifter`.  Raises
+    :class:`LiftError` on state explosion; a spent deadline raises the
+    deadline's own exception mid-lift.
     """
     return _Lifter(code, **caps).run()

@@ -376,3 +376,29 @@ class EthainterKill:
         for address, result in targets:
             report.outcomes.append(self.attack(address, result))
         return report
+
+    def attack_bytecodes(
+        self,
+        targets: Sequence[Tuple[int, bytes]],
+        config=None,
+        cache=None,
+    ) -> KillReport:
+        """Analyze and attack every (address, runtime bytecode) pair.
+
+        Runs the staged analysis itself, sharing one
+        :class:`~repro.core.pipeline.ArtifactCache` across the batch so
+        re-deployments of identical bytecode (common on-chain, common in
+        kill sweeps) are analyzed once.
+        """
+        from repro.core.analysis import EthainterAnalysis
+        from repro.core.pipeline import ArtifactCache
+
+        analyzer = EthainterAnalysis(
+            config, cache=cache if cache is not None else ArtifactCache()
+        )
+        return self.attack_many(
+            [
+                (address, analyzer.analyze(runtime))
+                for address, runtime in targets
+            ]
+        )

@@ -41,6 +41,70 @@ class TestSequential:
         assert sum(counts.values()) >= summary.flagged
 
 
+class TestProfiling:
+    def test_entries_carry_stage_profile(self, small_corpus):
+        summary = analyze_many([c.runtime for c in small_corpus], jobs=1)
+        totals = summary.stage_seconds()
+        assert set(totals) == {"lift", "facts", "storage", "guards", "taint", "detect"}
+        assert all(seconds >= 0 for seconds in totals.values())
+        assert summary.deadline_exceeded == 0
+
+    def test_battery_matches_per_config_runs(self, small_corpus):
+        from repro.core.batch import analyze_battery
+
+        bytecodes = [c.runtime for c in small_corpus]
+        configs = [AnalysisConfig(), AnalysisConfig(model_guards=False)]
+        summaries = analyze_battery(bytecodes, configs, jobs=1)
+        for config, summary in zip(configs, summaries):
+            direct = analyze_many(bytecodes, config, jobs=1)
+            assert [e.kinds for e in summary.entries] == [
+                e.kinds for e in direct.entries
+            ]
+        # Second config re-used the first one's prefix artifacts.
+        assert summaries[1].cache_hits >= 4 * len(bytecodes)
+
+    def test_battery_parallel_matches_sequential(self, small_corpus):
+        from repro.core.batch import analyze_battery
+
+        bytecodes = [c.runtime for c in small_corpus]
+        configs = [AnalysisConfig(), AnalysisConfig(conservative_storage=True)]
+        sequential = analyze_battery(bytecodes, configs, jobs=1)
+        parallel = analyze_battery(bytecodes, configs, jobs=3)
+        for left, right in zip(sequential, parallel):
+            assert [e.kinds for e in left.entries] == [e.kinds for e in right.entries]
+
+    def test_battery_requires_configs(self):
+        from repro.core.batch import analyze_battery
+
+        with pytest.raises(ValueError):
+            analyze_battery([b""], [], jobs=1)
+
+
+class TestDegradedMode:
+    def test_pool_failure_is_recorded_not_swallowed(self, small_corpus, monkeypatch):
+        import repro.core.batch as batch_module
+
+        class BrokenContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("no forking allowed here")
+
+        monkeypatch.setattr(
+            batch_module.multiprocessing,
+            "get_context",
+            lambda *args, **kwargs: BrokenContext(),
+        )
+        bytecodes = [c.runtime for c in small_corpus]
+        summary = analyze_many(bytecodes, jobs=4)
+        assert summary.degraded
+        assert "no forking allowed here" in summary.degraded_reason
+        assert summary.total == len(bytecodes)
+
+    def test_healthy_pool_is_not_degraded(self, small_corpus):
+        summary = analyze_many([c.runtime for c in small_corpus], jobs=2)
+        assert not summary.degraded
+        assert summary.degraded_reason == ""
+
+
 class TestParallel:
     def test_parallel_matches_sequential(self, small_corpus):
         bytecodes = [c.runtime for c in small_corpus]

@@ -48,6 +48,20 @@ class TestAnalyze:
         with pytest.raises(SystemExit):
             main(["analyze"])
 
+    def test_profile_prints_stage_breakdown(self, victim_file, capsys):
+        assert main(["analyze", "--source", victim_file, "--profile"]) == 1
+        output = capsys.readouterr().out
+        assert "pipeline profile:" in output
+        for stage in ("lift", "facts", "storage", "guards", "taint", "detect"):
+            assert stage in output
+        assert "cache" in output
+
+    def test_sweep_profile_prints_aggregate(self, capsys):
+        assert main(["sweep", "--size", "6", "--seed", "3", "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "pipeline profile:" in output
+        assert "lift" in output and "taint" in output
+
 
 class TestCompileDisasmDecompile:
     def test_compile_prints_hex(self, safe_file, capsys):

@@ -97,6 +97,33 @@ class TestDatabase:
         assert db.contains("R", ("a", 1))
         assert not db.contains("R", ("a", 2))
 
+    def test_indexes_stored_per_relation(self):
+        """add() must only maintain the inserted relation's indexes — the
+        flat index map used to make every insert scan every index."""
+        db = Database()
+        db.add_all("E", [("a", "b")])
+        db.add_all("F", [("p", "q")])
+        db.lookup("E", (0,), ("a",))  # build an index on E only
+        db.lookup("F", (1,), ("q",))  # ... and a differently-shaped one on F
+        assert set(db._indexes) == {"E", "F"}
+        assert set(db._indexes["E"]) == {(0,)}
+        assert set(db._indexes["F"]) == {(1,)}
+        # Inserts keep each relation's own indexes fresh and do not create
+        # entries under other relations.
+        db.add("E", ("a", "z"))
+        db.add("F", ("x", "q"))
+        assert ("a", "z") in db.lookup("E", (0,), ("a",))
+        assert ("x", "q") in db.lookup("F", (1,), ("q",))
+        assert set(db._indexes["E"]) == {(0,)}
+
+    def test_multi_position_indexes_coexist(self):
+        db = Database()
+        db.add_all("E", [("a", "b"), ("a", "c")])
+        assert db.lookup("E", (0, 1), ("a", "b")) == [("a", "b")]
+        assert sorted(db.lookup("E", (0,), ("a",))) == [("a", "b"), ("a", "c")]
+        db.add("E", ("a", "d"))
+        assert db.lookup("E", (0, 1), ("a", "d")) == [("a", "d")]
+
 
 class TestEvaluation:
     def test_transitive_closure(self):

@@ -151,3 +151,21 @@ class TestBatchReport:
         assert report.destroyed == 1
         assert report.attempted == 1
         assert 0 < report.kill_rate < 1
+
+    def test_attack_bytecodes_analyzes_with_shared_cache(
+        self, chain, open_kill_contract, safe_contract
+    ):
+        from repro.core import ArtifactCache
+
+        targets = []
+        # Deploy the open-kill contract twice: identical bytecode, so the
+        # shared cache analyzes it once.
+        for contract in (open_kill_contract, open_kill_contract, safe_contract):
+            receipt = chain.deploy(DEPLOYER, contract.init_with_args())
+            targets.append((receipt.contract_address, contract.runtime))
+        killer = EthainterKill(chain)
+        cache = ArtifactCache()
+        report = killer.attack_bytecodes(targets, cache=cache)
+        assert report.flagged == 3
+        assert report.destroyed == 2
+        assert cache.hits >= 6  # the duplicate deployment hit every stage

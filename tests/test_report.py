@@ -55,6 +55,64 @@ class TestSweepReport:
         sweep = self._reports([safe_contract])
         assert set(sweep.kind_counts) == set(VULNERABILITY_KINDS)
 
+    def test_late_finish_counted_once(self):
+        """A completed-but-late run (error=None, deadline_exceeded=True)
+        counts as analyzed+flagged, never as an error — the old behaviour
+        double-counted it in both flag and error totals."""
+        late = ContractReport(
+            name="late",
+            bytecode_size=10,
+            block_count=1,
+            statement_count=2,
+            elapsed_seconds=130.0,
+            error=None,
+            deadline_exceeded=True,
+            warnings=[
+                {
+                    "kind": "accessible-selfdestruct",
+                    "pc": 1,
+                    "statement": "s",
+                    "slot": None,
+                    "detail": "d",
+                }
+            ],
+        )
+        sweep = SweepReport()
+        sweep.add(late)
+        assert sweep.analyzed == 1
+        assert sweep.flagged == 1
+        assert sweep.errors == 0
+        assert sweep.deadline_exceeded == 1
+        assert sweep.kind_counts["accessible-selfdestruct"] == 1
+
+    def test_aborted_timeout_not_flagged(self):
+        aborted = ContractReport(
+            name="aborted",
+            bytecode_size=10,
+            block_count=0,
+            statement_count=0,
+            elapsed_seconds=120.0,
+            error="timeout",
+            deadline_exceeded=True,
+        )
+        sweep = SweepReport()
+        sweep.add(aborted)
+        assert sweep.errors == 1
+        assert sweep.analyzed == 0
+        assert sweep.flagged == 0
+        assert sweep.deadline_exceeded == 1
+
+    def test_stage_seconds_aggregated(self, victim_contract):
+        result = analyze_bytecode(victim_contract.runtime)
+        sweep = SweepReport()
+        sweep.add(ContractReport.from_result(result))
+        sweep.add(ContractReport.from_result(result))
+        summary = sweep.summary()
+        assert set(summary["stage_seconds"]) == {
+            "lift", "facts", "storage", "guards", "taint", "detect",
+        }
+        assert summary["cache"] == {"hits": 0, "misses": 0}
+
     def test_summary_json(self, victim_contract):
         sweep = self._reports([victim_contract])
         payload = json.loads(sweep.to_json())
