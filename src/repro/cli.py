@@ -10,6 +10,7 @@ Commands:
 * ``corpus``   — generate a labeled synthetic corpus to a directory
 * ``sweep``    — analyze a generated corpus and print/emit statistics
 * ``kill``     — deploy a contract locally and run Ethainter-Kill against it
+* ``lint-rules`` — statically lint Datalog rule programs (shipped or files)
 """
 
 from __future__ import annotations
@@ -77,6 +78,14 @@ def _print_stage_profile(
     print("  cache    %d hit(s) / %d miss(es)" % (cache_hits, cache_misses), file=stream)
 
 
+def _print_precision(precision: dict, stream=None) -> None:
+    """Precision counters (the second ``--profile`` section)."""
+    stream = stream if stream is not None else sys.stdout
+    print("precision counters:", file=stream)
+    for key, value in precision.items():
+        print("  %-28s %d" % (key, value), file=stream)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     """``repro analyze``: run Ethainter on source or hex bytecode."""
     runtime = _read_bytecode(args)
@@ -84,6 +93,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         model_guards=not args.no_guards,
         model_storage_taint=not args.no_storage,
         conservative_storage=args.conservative_storage,
+        value_analysis=args.value_analysis,
         timeout_seconds=args.timeout,
         engine=args.engine,
     )
@@ -98,6 +108,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         )
         if result.deadline_exceeded:
             print("  (deadline exceeded)", file=stream)
+        _print_precision(result.precision.as_dict(), stream=stream)
     if args.json:
         from repro.core.report import ContractReport
 
@@ -233,9 +244,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     corpus = generate_corpus(args.size, seed=args.seed)
     cache = ArtifactCache(max_entries=max(4096, 8 * len(corpus)))
+    config = AnalysisConfig(value_analysis=args.value_analysis)
     sweep = SweepReport()
     for contract in corpus:
-        result = analyze_bytecode(contract.runtime, cache=cache)
+        result = analyze_bytecode(contract.runtime, config, cache=cache)
         sweep.add(
             ContractReport.from_result(
                 result, name=contract.name, bytecode_size=len(contract.runtime)
@@ -256,6 +268,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         if summary["deadline_exceeded"]:
             print("  deadline exceeded on %d contract(s)" % summary["deadline_exceeded"])
+        _print_precision(summary["precision"])
     if args.json:
         _Path(args.json).write_text(sweep.to_json())
         print("full report written to %s" % args.json)
@@ -294,6 +307,58 @@ def cmd_kill(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint_rules(args: argparse.Namespace) -> int:
+    """``repro lint-rules``: statically lint Datalog rule programs.
+
+    Without arguments, lints every rule program the analysis actually
+    evaluates; with file arguments, lints those ``.dl`` files instead.
+    Exits 1 when any error-severity finding exists.
+    """
+    from repro.datalog.lint import (
+        format_findings,
+        has_errors,
+        lint_shipped,
+        lint_text,
+        stratification_preview,
+    )
+
+    findings = []
+    if args.files:
+        for path in args.files:
+            findings.extend(lint_text(Path(path).read_text(), source=path))
+    else:
+        findings = lint_shipped()
+    if findings:
+        print(format_findings(findings))
+    errors = sum(1 for finding in findings if finding.severity == "error")
+    print(
+        "%d finding(s) (%d error(s)) in %s"
+        % (
+            len(findings),
+            errors,
+            ", ".join(args.files) if args.files else "shipped rule programs",
+        )
+    )
+    if args.strata:
+        from repro.datalog.lint import shipped_programs
+        from repro.datalog.parser import DatalogSyntaxError, parse_program_lenient
+
+        sources = (
+            [(path, Path(path).read_text()) for path in args.files]
+            if args.files
+            else shipped_programs()
+        )
+        for name, text in sources:
+            try:
+                program = parse_program_lenient(text)
+            except DatalogSyntaxError:
+                continue
+            print("strata for %s:" % name)
+            for level, stratum in enumerate(stratification_preview(program.rules)):
+                print("  %d: %s" % (level, ", ".join(stratum)))
+    return 1 if has_errors(findings) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -308,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--no-storage", action="store_true", help="Fig. 8a ablation")
     analyze.add_argument(
         "--conservative-storage", action="store_true", help="Fig. 8c ablation"
+    )
+    analyze.add_argument(
+        "--value-analysis",
+        action="store_true",
+        help="enable the value-set stratum (resolves computed storage indices)",
     )
     analyze.add_argument("--timeout", type=float, default=120.0)
     analyze.add_argument(
@@ -348,6 +418,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the aggregate per-stage wall-clock breakdown",
     )
+    sweep.add_argument(
+        "--value-analysis",
+        action="store_true",
+        help="enable the value-set stratum for every contract in the sweep",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     compile_cmd = commands.add_parser("compile", help="compile MiniSol source")
@@ -371,6 +446,19 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--seed", type=int, default=2020)
     corpus.add_argument("--out", default="corpus-out")
     corpus.set_defaults(func=cmd_corpus)
+
+    lint_rules = commands.add_parser(
+        "lint-rules", help="statically lint Datalog rule programs"
+    )
+    lint_rules.add_argument(
+        "files", nargs="*", help="Datalog files to lint (default: shipped rules)"
+    )
+    lint_rules.add_argument(
+        "--strata",
+        action="store_true",
+        help="also print the stratification preview per program",
+    )
+    lint_rules.set_defaults(func=cmd_lint_rules)
 
     kill = commands.add_parser("kill", help="deploy locally and attack")
     kill.add_argument("source")

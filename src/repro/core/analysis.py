@@ -39,11 +39,18 @@ class AnalysisConfig:
       every owner-guarded operation looks attacker-reachable),
     * ``conservative_storage=True`` — 8c "Conservative Storage Modeling"
       (precision drops: unknown-address stores smear taint over all slots).
+
+    ``value_analysis`` enables the bounded value-set stratum
+    (:mod:`repro.ir.value_analysis`): computed storage indices resolve to
+    small candidate sets, shrinking the StorageWrite-2 blast radius and
+    recovering mapping accesses whose base slot is not directly constant.
+    Off by default so the battery can measure its precision delta.
     """
 
     model_guards: bool = True
     model_storage_taint: bool = True
     conservative_storage: bool = False
+    value_analysis: bool = False
     timeout_seconds: float = 120.0
     max_lift_states: int = 20_000
     # Which fixpoint engine runs the taint rules: the tuned Python fixpoint
@@ -58,6 +65,37 @@ class AnalysisConfig:
             model_storage_taint=self.model_storage_taint,
             conservative_storage=self.conservative_storage,
         )
+
+
+@dataclass
+class PrecisionCounters:
+    """Resolution statistics for one contract (``--profile`` / JSON report).
+
+    ``lint_findings`` counts the findings the Datalog linter reports over
+    the *shipped* rule programs this build analyzes with — a build-level
+    constant surfaced per result so downstream reports carry it.
+    """
+
+    value_tracked_vars: int = 0  # vars with a bounded value set
+    resolved_store_indices: int = 0  # constant or value-set bounded
+    unresolved_store_indices: int = 0
+    resolved_load_indices: int = 0
+    unresolved_load_indices: int = 0
+    mapping_accesses: int = 0
+    value_resolved_mappings: int = 0  # recovered only via value analysis
+    lint_findings: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "value_tracked_vars": self.value_tracked_vars,
+            "resolved_store_indices": self.resolved_store_indices,
+            "unresolved_store_indices": self.unresolved_store_indices,
+            "resolved_load_indices": self.resolved_load_indices,
+            "unresolved_load_indices": self.unresolved_load_indices,
+            "mapping_accesses": self.mapping_accesses,
+            "value_resolved_mappings": self.value_resolved_mappings,
+            "lint_findings": self.lint_findings,
+        }
 
 
 @dataclass
@@ -104,6 +142,7 @@ class AnalysisResult:
     stage_timings: List[StageTiming] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    precision: PrecisionCounters = field(default_factory=PrecisionCounters)
     taint: Optional[TaintResult] = None
     facts: Optional[ContractFacts] = None
     guards: Optional[GuardModel] = None
@@ -169,7 +208,8 @@ class EthainterAnalysis:
             result.statement_count = sum(
                 len(block.statements) for block in program.blocks.values()
             )
-        result.facts = artifacts.get("facts")
+        # Downstream consumers see the (possibly) value-enriched facts.
+        result.facts = artifacts.get("values", artifacts.get("facts"))
         result.storage = artifacts.get("storage")
         result.guards = artifacts.get("guards")
         result.taint = artifacts.get("taint")
@@ -178,7 +218,38 @@ class EthainterAnalysis:
             result.warnings = [
                 Warning.from_finding(finding) for finding in findings
             ]
+        _fill_precision(result)
         return result
+
+
+def _fill_precision(result: AnalysisResult) -> None:
+    """Populate :class:`PrecisionCounters` from the finished artifacts."""
+    counters = result.precision
+    facts, storage = result.facts, result.storage
+    if facts is not None:
+        counters.value_tracked_vars = len(facts.variable_values)
+    if storage is not None:
+        for store in storage.facts.storage_stores:
+            if (
+                store.const_slot is not None
+                or store.statement.ident in storage.resolved_store_slots
+            ):
+                counters.resolved_store_indices += 1
+            else:
+                counters.unresolved_store_indices += 1
+        for load in storage.facts.storage_loads:
+            if (
+                load.const_slot is not None
+                or load.statement.ident in storage.resolved_load_slots
+            ):
+                counters.resolved_load_indices += 1
+            else:
+                counters.unresolved_load_indices += 1
+        counters.mapping_accesses = len(storage.mapping_accesses)
+        counters.value_resolved_mappings = storage.value_resolved_mappings
+    from repro.datalog.lint import shipped_finding_count
+
+    counters.lint_findings = shipped_finding_count()
 
 
 def analyze_bytecode(

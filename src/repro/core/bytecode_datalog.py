@@ -29,6 +29,8 @@ EDB (extracted facts):
     MappingConfined(a)            address a resolves to a mapping element
     SLoadConst(s, v, x)           load constant slot v into x
     KnownSlot(v)                  constant slots arising in the analysis
+    ResolvedStore(s)              value analysis bounded store s's address
+    ResolvedStoreSlot(s, v)       ... and v is one of its candidate slots
 
 IDB:
     ReachableByAttacker(s), Guarded(s) [projection for negation],
@@ -93,17 +95,29 @@ WritableMapping(b) :- MappingStore(s, b, k), SenderKey(k), ReachableByAttacker(s
 """
 
 # StorageWrite-2 (the over-approximation): value- and address-tainted store
-# through an address NOT confined to a mapping taints every known slot.
-# Four flavor combinations, input flavors requiring reachability.
+# through an address NOT confined to a mapping taints every known slot —
+# unless the value-analysis stratum bounded the address (ResolvedStore), in
+# which case only the candidate slots are tainted.  Four flavor
+# combinations each way, input flavors requiring reachability.  With the
+# stratum disabled both Resolved* relations are empty, so the first four
+# rules degenerate to the original smear and the rest never fire.
 WRITE2_RULES = r"""
 TaintedStorage(v) :- SStoreUnknown(s, a, x), StorageTaint(x), StorageTaint(a),
-                     !MappingConfined(a), KnownSlot(v).
+                     !MappingConfined(a), !ResolvedStore(s), KnownSlot(v).
 TaintedStorage(v) :- SStoreUnknown(s, a, x), StorageTaint(x), InputTaint(a),
-                     ReachableByAttacker(s), !MappingConfined(a), KnownSlot(v).
+                     ReachableByAttacker(s), !MappingConfined(a), !ResolvedStore(s), KnownSlot(v).
 TaintedStorage(v) :- SStoreUnknown(s, a, x), InputTaint(x), StorageTaint(a),
-                     ReachableByAttacker(s), !MappingConfined(a), KnownSlot(v).
+                     ReachableByAttacker(s), !MappingConfined(a), !ResolvedStore(s), KnownSlot(v).
 TaintedStorage(v) :- SStoreUnknown(s, a, x), InputTaint(x), InputTaint(a),
-                     ReachableByAttacker(s), !MappingConfined(a), KnownSlot(v).
+                     ReachableByAttacker(s), !MappingConfined(a), !ResolvedStore(s), KnownSlot(v).
+TaintedStorage(v) :- SStoreUnknown(s, a, x), StorageTaint(x), StorageTaint(a),
+                     !MappingConfined(a), ResolvedStoreSlot(s, v), KnownSlot(v).
+TaintedStorage(v) :- SStoreUnknown(s, a, x), StorageTaint(x), InputTaint(a),
+                     ReachableByAttacker(s), !MappingConfined(a), ResolvedStoreSlot(s, v), KnownSlot(v).
+TaintedStorage(v) :- SStoreUnknown(s, a, x), InputTaint(x), StorageTaint(a),
+                     ReachableByAttacker(s), !MappingConfined(a), ResolvedStoreSlot(s, v), KnownSlot(v).
+TaintedStorage(v) :- SStoreUnknown(s, a, x), InputTaint(x), InputTaint(a),
+                     ReachableByAttacker(s), !MappingConfined(a), ResolvedStoreSlot(s, v), KnownSlot(v).
 """
 
 # Conservative storage modeling (Fig. 8c): any tainted store through an
@@ -175,6 +189,13 @@ def _facts_to_database(
                 "SStoreUnknown",
                 (store.statement.ident, store.address_var, store.value_var),
             )
+            resolved = storage.resolved_store_slots.get(store.statement.ident)
+            if resolved is not None:
+                database.add("ResolvedStore", (store.statement.ident,))
+                for slot in resolved:
+                    database.add(
+                        "ResolvedStoreSlot", (store.statement.ident, slot)
+                    )
             for address_source in storage.copy_sources.get(
                 store.address_var, {store.address_var}
             ):

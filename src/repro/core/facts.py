@@ -10,8 +10,9 @@ mapping-slot computations become visible to the data-structure rules.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.ir.tac import TACProgram, TACStatement
 
@@ -98,6 +99,32 @@ class ContractFacts:
     calls: List[CallFact] = field(default_factory=list)
     jumpis: List[TACStatement] = field(default_factory=list)
     returndatasize_blocks: Set[str] = field(default_factory=set)
+    # The ``VariableValues`` relation from the optional value-analysis
+    # stratum (:mod:`repro.ir.value_analysis`): var -> bounded set of
+    # possible 256-bit values.  Empty when the stratum is disabled.
+    variable_values: Dict[str, FrozenSet[int]] = field(default_factory=dict)
+
+    def value_set(self, variable: str) -> Optional[FrozenSet[int]]:
+        """Bounded value set for ``variable``: the value-analysis relation
+        when populated, else a lifter-constant singleton, else None."""
+        values = self.variable_values.get(variable)
+        if values:
+            return values
+        constant = self.const.get(variable)
+        if constant is not None:
+            return frozenset((constant,))
+        return None
+
+    def with_variable_values(
+        self, values: Dict[str, FrozenSet[int]]
+    ) -> "ContractFacts":
+        """A copy of these facts carrying ``values`` as ``VariableValues``.
+
+        A *copy*, not a mutation: the bare facts artifact may be shared
+        through the :class:`~repro.core.pipeline.ArtifactCache` with
+        configurations that have the value-analysis stratum disabled.
+        """
+        return dataclasses.replace(self, variable_values=dict(values))
 
     @property
     def known_slots(self) -> Set[int]:

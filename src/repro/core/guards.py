@@ -125,6 +125,10 @@ def _classify(
             slots: Set[int] = set()
             for source in model.copy_sources.get(other_side, {other_side}):
                 slots.update(model.aliases_of(source))
+                # Slots the value-analysis stratum resolved: a load whose
+                # computed address is a singleton aliases that slot exactly
+                # like a directly-constant load.
+                slots.update(model.value_aliases_of(source))
             return Guard(
                 ident=fresh_ident(),
                 kind=EQ_SENDER,

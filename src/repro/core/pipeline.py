@@ -41,6 +41,7 @@ from repro.core.guards import build_guard_model
 from repro.core.storage_model import build_storage_model
 from repro.core.vulnerabilities import detect
 from repro.decompiler import LiftError, lift
+from repro.ir.value_analysis import analyze_values
 
 
 class DeadlineExceeded(Exception):
@@ -178,12 +179,27 @@ def _run_facts(ctx: PipelineContext):
     return extract_facts(ctx.artifacts["lift"])
 
 
+def _run_values(ctx: PipelineContext):
+    """The value-analysis stratum: an *enriched copy* of the facts.
+
+    With the flag off this passes the bare facts through unchanged, so
+    downstream stages can uniformly consume ``artifacts["values"]``.  The
+    enriched facts are a separate cache artifact (the stage fingerprints on
+    ``value_analysis``), never a mutation of the shared facts artifact.
+    """
+    facts = ctx.artifacts["facts"]
+    if not getattr(ctx.config, "value_analysis", False):
+        return facts
+    analysis = analyze_values(facts.program, deadline=ctx.deadline)
+    return facts.with_variable_values(analysis.exported())
+
+
 def _run_storage(ctx: PipelineContext):
-    return build_storage_model(ctx.artifacts["facts"])
+    return build_storage_model(ctx.artifacts["values"])
 
 
 def _run_guards(ctx: PipelineContext):
-    return build_guard_model(ctx.artifacts["facts"], ctx.artifacts["storage"])
+    return build_guard_model(ctx.artifacts["values"], ctx.artifacts["storage"])
 
 
 def _run_taint(ctx: PipelineContext):
@@ -193,7 +209,7 @@ def _run_taint(ctx: PipelineContext):
         from repro.core.bytecode_datalog import analyze_with_datalog
 
         return analyze_with_datalog(
-            facts=ctx.artifacts["facts"],
+            facts=ctx.artifacts["values"],
             storage=ctx.artifacts["storage"],
             guards=ctx.artifacts["guards"],
             options=options,
@@ -201,7 +217,7 @@ def _run_taint(ctx: PipelineContext):
     from repro.core.taint import TaintAnalysis
 
     return TaintAnalysis(
-        ctx.artifacts["facts"],
+        ctx.artifacts["values"],
         ctx.artifacts["storage"],
         ctx.artifacts["guards"],
         options,
@@ -210,7 +226,7 @@ def _run_taint(ctx: PipelineContext):
 
 def _run_detect(ctx: PipelineContext):
     return detect(
-        ctx.artifacts["facts"],
+        ctx.artifacts["values"],
         ctx.artifacts["storage"],
         ctx.artifacts["guards"],
         ctx.artifacts["taint"],
@@ -238,6 +254,7 @@ class Stage:
 STAGES: Tuple[Stage, ...] = (
     Stage("lift", _run_lift, ("max_lift_states",)),
     Stage("facts", _run_facts),
+    Stage("values", _run_values, ("value_analysis",)),
     Stage("storage", _run_storage),
     Stage("guards", _run_guards),
     Stage(
@@ -251,8 +268,9 @@ STAGES: Tuple[Stage, ...] = (
 STAGE_NAMES: Tuple[str, ...] = tuple(stage.name for stage in STAGES)
 
 # The longest prefix of stages whose fingerprints agree across the Fig. 8
-# ablation configurations (everything before the taint fixpoint).
-PREFIX_STAGES: Tuple[str, ...] = ("lift", "facts", "storage", "guards")
+# ablation configurations (everything before the taint fixpoint; the
+# ablations all leave ``value_analysis`` at its default).
+PREFIX_STAGES: Tuple[str, ...] = ("lift", "facts", "values", "storage", "guards")
 
 
 def stage_fingerprints(config) -> Dict[str, str]:

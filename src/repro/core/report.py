@@ -33,6 +33,7 @@ class ContractReport:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    precision: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def from_result(
@@ -62,6 +63,7 @@ class ContractReport:
             },
             cache_hits=result.cache_hits,
             cache_misses=result.cache_misses,
+            precision=result.precision.as_dict(),
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -84,6 +86,7 @@ class SweepReport:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    precision: Dict[str, int] = field(default_factory=dict)
     contracts: List[ContractReport] = field(default_factory=list)
 
     def add(self, report: ContractReport) -> None:
@@ -93,6 +96,8 @@ class SweepReport:
             self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
         self.cache_hits += report.cache_hits
         self.cache_misses += report.cache_misses
+        for name, count in report.precision.items():
+            self.precision[name] = self.precision.get(name, 0) + count
         if report.deadline_exceeded:
             self.deadline_exceeded += 1
         if report.error:
@@ -133,6 +138,9 @@ class SweepReport:
                 for name, seconds in sorted(self.stage_seconds.items())
             },
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "precision": {
+                name: count for name, count in sorted(self.precision.items())
+            },
         }
 
     def to_json(self, indent: int = 2, include_contracts: bool = True) -> str:

@@ -50,6 +50,14 @@ class StorageModel:
     storage_alias: Dict[str, Set[int]] = field(default_factory=dict)  # x ~ S(v)
     mapping_accesses: Dict[str, MappingAccess] = field(default_factory=dict)
     mem_var_of: Dict[int, str] = field(default_factory=dict)
+    # Value-analysis resolution (populated only when the facts carry the
+    # VariableValues relation): computed, non-constant storage indices whose
+    # candidate slots the value-set stratum bounded.
+    resolved_store_slots: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    resolved_load_slots: Dict[str, Tuple[int, ...]] = field(default_factory=dict)
+    # x ~ S(v) through a value-resolved (singleton) load address.
+    value_alias: Dict[str, Set[int]] = field(default_factory=dict)
+    value_resolved_mappings: int = 0
 
     def is_sender_derived(self, variable: str) -> bool:
         """Whether ``variable`` is DS (holds sender-keyed data or the sender)."""
@@ -58,6 +66,10 @@ class StorageModel:
     def aliases_of(self, variable: str) -> Set[int]:
         """Constant storage slots ``variable`` is a loaded copy of."""
         return self.storage_alias.get(variable, set())
+
+    def value_aliases_of(self, variable: str) -> Set[int]:
+        """Slots ``variable`` aliases only via the value-analysis stratum."""
+        return self.value_alias.get(variable, set())
 
 
 def memory_var(address: int) -> str:
@@ -119,6 +131,45 @@ def build_storage_model(facts: ContractFacts) -> StorageModel:
             slots = model.storage_alias.get(source)
             if slots:
                 model.storage_alias.setdefault(variable, set()).update(slots)
+
+    # ---------------------------------------------- value-set resolution
+    # When the facts carry the VariableValues relation, bound the candidate
+    # slots of computed (non-constant) storage indices.  These feed the
+    # taint stratum (StorageWrite-2 blast-radius shrinking) and the guard
+    # stratum (singleton-resolved loads alias their slot like constant
+    # loads do) but deliberately do NOT promote accesses to ``const_slot``:
+    # StorageWrite-1 / StorageLoad stay keyed on directly-constant indices,
+    # keeping the value-analysis configuration's warnings a subset of the
+    # conservative configuration's.
+    if facts.variable_values:
+        for store in facts.storage_stores:
+            if store.const_slot is not None:
+                continue
+            candidates = facts.value_set(store.address_var)
+            if candidates:
+                model.resolved_store_slots[store.statement.ident] = tuple(
+                    sorted(candidates)
+                )
+        for load in facts.storage_loads:
+            if load.const_slot is not None or load.def_var is None:
+                continue
+            candidates = facts.value_set(load.address_var)
+            if not candidates:
+                continue
+            model.resolved_load_slots[load.statement.ident] = tuple(
+                sorted(candidates)
+            )
+            if len(candidates) == 1:
+                model.value_alias.setdefault(load.def_var, set()).add(
+                    next(iter(candidates))
+                )
+        # Extend value aliases through copies, mirroring storage_alias.
+        if model.value_alias:
+            for variable in all_vars:
+                for source in sources_of(variable):
+                    slots = model.value_alias.get(source)
+                    if slots:
+                        model.value_alias.setdefault(variable, set()).update(slots)
 
     # ------------------------------------------------------ DS / DSA
     # Fixpoint over the Figure 4 rules plus copy propagation.
@@ -186,11 +237,19 @@ def build_storage_model(facts: ContractFacts) -> StorageModel:
             if base_const is not None:
                 base_slot = base_const
             else:
-                for source in sources_of(base_var):
-                    attributed = model.mapping_accesses.get(source)
-                    if attributed is not None:
-                        base_slot = attributed.base_slot
-                        break
+                # A base slot that is not directly constant may still be a
+                # value-analysis singleton (e.g. spilled through a memory
+                # local and reloaded).
+                candidates = facts.value_set(base_var)
+                if candidates is not None and len(candidates) == 1:
+                    base_slot = next(iter(candidates))
+                    model.value_resolved_mappings += 1
+                else:
+                    for source in sources_of(base_var):
+                        attributed = model.mapping_accesses.get(source)
+                        if attributed is not None:
+                            base_slot = attributed.base_slot
+                            break
             if base_slot is None:
                 remaining.append(hash_fact)
                 continue

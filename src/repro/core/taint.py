@@ -242,8 +242,18 @@ class TaintAnalysis:
                     )
                     address_taint = effective_taint(store.address_var, statement_id)
                     if value_taint and address_taint and not is_mapping_confined:
-                        # StorageWrite-2: everything known becomes tainted.
-                        for slot in known_slots:
+                        # StorageWrite-2: everything known becomes tainted —
+                        # unless the value-analysis stratum bounded the
+                        # address, in which case only the candidate slots
+                        # (a subset of the known slots) can be written.
+                        resolved = self.storage.resolved_store_slots.get(
+                            statement_id
+                        )
+                        if resolved is None:
+                            targets = known_slots
+                        else:
+                            targets = [s for s in resolved if s in known_slots]
+                        for slot in targets:
                             if taint_slot(slot, witness_of(store.value_var)):
                                 changed = True
                     if options.conservative_storage and value_taint:

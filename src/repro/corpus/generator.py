@@ -45,6 +45,7 @@ DEFAULT_WEIGHTS: Dict[str, float] = {
     "large_dao": 3.0,
     "array_write_unchecked": 0.35,
     "array_write_checked": 0.3,
+    "computed_flag_write": 0.2,
 }
 
 

@@ -981,6 +981,51 @@ contract %(name)s {
     )
 
 
+def computed_flag_write(rng: random.Random) -> TemplateOutput:
+    """Array write whose index is a *comparison result* — bounded to {0,1}
+    by construction, so it can never reach the owner slot, but the index is
+    still computed (non-constant), so StorageWrite-2 smears it onto every
+    known slot.  The value-set stratum resolves the index set exactly and
+    eliminates the smear; under the default config these are the
+    over-report kinds recorded in ``expected_fp_kinds``."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    magic = rng.randrange(2, 1 << 16)
+    source = """
+contract %(name)s {
+    uint256[2] flags;
+    address %(owner)s;
+
+    constructor() { %(owner)s = msg.sender; }
+
+    function record(uint256 code, uint256 value) public {
+        flags[code == %(magic)d] = value;
+    }
+    function readFlag(uint256 code) public returns (uint256) {
+        return flags[code == %(magic)d];
+    }
+    function shutdown() public {
+        require(msg.sender == %(owner)s);
+        selfdestruct(%(owner)s);
+    }%(decoys)s
+}
+""" % {
+        "name": name,
+        "owner": owner,
+        "magic": magic,
+        "decoys": _decoys(rng),
+    }
+    return TemplateOutput(
+        template="computed_flag_write",
+        contract_name=name,
+        source=source,
+        labels=set(),
+        exploitable_selfdestruct=False,
+        expected_fp_kinds={TAINTED_OWNER, ACCESSIBLE_SELFDESTRUCT, TAINTED_SELFDESTRUCT},
+        solidity_version=_version(rng),
+    )
+
+
 TEMPLATES: Dict[str, Callable[[random.Random], TemplateOutput]] = {
     "safe_owned": safe_owned,
     "safe_token": safe_token,
@@ -1004,4 +1049,5 @@ TEMPLATES: Dict[str, Callable[[random.Random], TemplateOutput]] = {
     "large_dao": large_dao,
     "array_write_unchecked": array_write_unchecked,
     "array_write_checked": array_write_checked,
+    "computed_flag_write": computed_flag_write,
 }

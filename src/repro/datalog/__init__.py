@@ -7,7 +7,11 @@ Ethainter rules in the paper.  Supports:
 * stratified negation (negative dependencies may not occur inside a
   recursive component — checked at stratification time),
 * wildcard ``_`` arguments, constants, and Python filter predicates,
-* a textual parser for a Soufflé-like surface syntax (``:-``, ``!``, ``.``).
+* a textual parser for a Soufflé-like surface syntax (``:-``, ``!``, ``.``)
+  with parse-time arity checking,
+* a program linter (:mod:`repro.datalog.lint`) covering range restriction,
+  negation safety, arity consistency, unused relations, and a
+  stratification preview.
 
 The engine is deliberately generic: the Ethainter core rules
 (:mod:`repro.core.datalog_rules`) and the abstract-language formalism both
@@ -17,7 +21,12 @@ fixpoint code in the test suite.
 
 from repro.datalog.terms import Atom, Literal, Rule, Variable, var
 from repro.datalog.engine import Database, Engine, StratificationError
-from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.parser import (
+    DatalogSyntaxError,
+    parse_program,
+    parse_program_lenient,
+    parse_rule,
+)
 
 __all__ = [
     "Variable",
@@ -28,6 +37,8 @@ __all__ = [
     "Database",
     "Engine",
     "StratificationError",
+    "DatalogSyntaxError",
     "parse_program",
+    "parse_program_lenient",
     "parse_rule",
 ]

@@ -34,6 +34,117 @@ class StratificationError(Exception):
     """The program uses negation through recursion."""
 
 
+# ------------------------------------------------------------ SCC machinery
+#
+# Shared between the engine's stratifier and the program linter's
+# stratification preview (:mod:`repro.datalog.lint`).
+
+
+def rule_dependency_graph(
+    rules: Sequence[Rule],
+) -> Tuple[Set[str], List[Tuple[str, str, bool]]]:
+    """The relation dependency graph of ``rules``.
+
+    Returns ``(relations, edges)`` where each edge is
+    ``(body relation, head relation, negated)``.
+    """
+    relations: Set[str] = set()
+    edges: List[Tuple[str, str, bool]] = []
+    for rule in rules:
+        relations.add(rule.head.relation)
+        for item in rule.body:
+            if isinstance(item, Literal):
+                relations.add(item.atom.relation)
+                edges.append((item.atom.relation, rule.head.relation, item.negated))
+    return relations, edges
+
+
+def strongly_connected_components(
+    relations: Iterable[str], successors: Dict[str, Set[str]]
+) -> Tuple[List[List[str]], Dict[str, int]]:
+    """Tarjan SCC (iterative).  Returns ``(components, component_of)``;
+    components are emitted in reverse topological order."""
+    index_counter = [0]
+    stack: List[str] = []
+    lowlink: Dict[str, int] = {}
+    index: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    component_of: Dict[str, int] = {}
+    components: List[List[str]] = []
+
+    def strongconnect(node: str) -> None:
+        worklist = [(node, iter(successors.get(node, ())))]
+        index[node] = lowlink[node] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while worklist:
+            current, successor_iter = worklist[-1]
+            advanced = False
+            for successor in successor_iter:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    worklist.append((successor, iter(successors.get(successor, ()))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[current] = min(lowlink[current], index[successor])
+            if advanced:
+                continue
+            worklist.pop()
+            if worklist:
+                parent = worklist[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[current])
+            if lowlink[current] == index[current]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component_of[member] = len(components)
+                    component.append(member)
+                    if member == current:
+                        break
+                components.append(component)
+
+    for rel in relations:
+        if rel not in index:
+            strongconnect(rel)
+    return components, component_of
+
+
+def condensation_levels(
+    components: List[List[str]],
+    component_of: Dict[str, int],
+    edges: List[Tuple[str, str, bool]],
+) -> Dict[int, int]:
+    """Stratum level per component: Kahn-style longest path over the SCC
+    condensation of ``edges``."""
+    condensed: Dict[int, Set[int]] = {i: set() for i in range(len(components))}
+    for source, target, _ in edges:
+        s, t = component_of[source], component_of[target]
+        if s != t:
+            condensed[s].add(t)
+    indegree: Dict[int, int] = {i: 0 for i in range(len(components))}
+    for source_component, targets in condensed.items():
+        for target_component in targets:
+            indegree[target_component] += 1
+    queue = [c for c, d in indegree.items() if d == 0]
+    level: Dict[int, int] = {c: 0 for c in queue}
+    while queue:
+        current = queue.pop()
+        for target_component in condensed[current]:
+            level[target_component] = max(
+                level.get(target_component, 0), level[current] + 1
+            )
+            indegree[target_component] -= 1
+            if indegree[target_component] == 0:
+                queue.append(target_component)
+    return level
+
+
 class Database:
     """Fact storage: relation name -> set of tuples, with lazy hash indexes."""
 
@@ -116,73 +227,15 @@ class Engine:
 
     # -------------------------------------------------------- stratification
 
-    def _dependency_graph(self):
-        """Edges head <- body with polarity; returns (all relations, edges)."""
-        relations: Set[str] = set()
-        edges: List[Tuple[str, str, bool]] = []  # (from body rel, to head rel, negated)
-        for rule in self.rules:
-            relations.add(rule.head.relation)
-            for item in rule.body:
-                if isinstance(item, Literal):
-                    relations.add(item.atom.relation)
-                    edges.append((item.atom.relation, rule.head.relation, item.negated))
-        return relations, edges
-
     def _stratify(self) -> List[List[Rule]]:
-        relations, edges = self._dependency_graph()
+        relations, edges = rule_dependency_graph(self.rules)
         successors: Dict[str, Set[str]] = {rel: set() for rel in relations}
         for source, target, _ in edges:
             successors[source].add(target)
 
-        # Tarjan SCC.
-        index_counter = [0]
-        stack: List[str] = []
-        lowlink: Dict[str, int] = {}
-        index: Dict[str, int] = {}
-        on_stack: Set[str] = set()
-        component_of: Dict[str, int] = {}
-        components: List[List[str]] = []
-
-        def strongconnect(node: str) -> None:
-            worklist = [(node, iter(successors[node]))]
-            index[node] = lowlink[node] = index_counter[0]
-            index_counter[0] += 1
-            stack.append(node)
-            on_stack.add(node)
-            while worklist:
-                current, successor_iter = worklist[-1]
-                advanced = False
-                for successor in successor_iter:
-                    if successor not in index:
-                        index[successor] = lowlink[successor] = index_counter[0]
-                        index_counter[0] += 1
-                        stack.append(successor)
-                        on_stack.add(successor)
-                        worklist.append((successor, iter(successors[successor])))
-                        advanced = True
-                        break
-                    if successor in on_stack:
-                        lowlink[current] = min(lowlink[current], index[successor])
-                if advanced:
-                    continue
-                worklist.pop()
-                if worklist:
-                    parent = worklist[-1][0]
-                    lowlink[parent] = min(lowlink[parent], lowlink[current])
-                if lowlink[current] == index[current]:
-                    component: List[str] = []
-                    while True:
-                        member = stack.pop()
-                        on_stack.discard(member)
-                        component_of[member] = len(components)
-                        component.append(member)
-                        if member == current:
-                            break
-                    components.append(component)
-
-        for rel in relations:
-            if rel not in index:
-                strongconnect(rel)
+        components, component_of = strongly_connected_components(
+            relations, successors
+        )
 
         # Negative edge inside one SCC => not stratifiable.
         for source, target, negated in edges:
@@ -191,28 +244,7 @@ class Engine:
                     "negation of %r is recursive with %r" % (source, target)
                 )
 
-        # Stratum levels: Kahn-style longest path over the SCC condensation.
-        condensed: Dict[int, Set[int]] = {i: set() for i in range(len(components))}
-        for source, target, _ in edges:
-            s, t = component_of[source], component_of[target]
-            if s != t:
-                condensed[s].add(t)
-        indegree: Dict[int, int] = {i: 0 for i in range(len(components))}
-        for source_component, targets in condensed.items():
-            for target_component in targets:
-                indegree[target_component] += 1
-        queue = [c for c, d in indegree.items() if d == 0]
-        level: Dict[int, int] = {c: 0 for c in queue}
-        while queue:
-            current = queue.pop()
-            for target_component in condensed[current]:
-                level[target_component] = max(
-                    level.get(target_component, 0), level[current] + 1
-                )
-                indegree[target_component] -= 1
-                if indegree[target_component] == 0:
-                    queue.append(target_component)
-
+        level = condensation_levels(components, component_of, edges)
         max_level = max(level.values(), default=0)
         strata: List[List[Rule]] = [[] for _ in range(max_level + 1)]
         for rule in self.rules:

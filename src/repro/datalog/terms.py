@@ -8,7 +8,7 @@ mirroring the paper's "don't care" ``*`` convention (§4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
@@ -92,34 +92,52 @@ BodyItem = Any  # Literal or Filter
 
 @dataclass
 class Rule:
-    """``head :- body.``  An empty body makes the rule a fact template."""
+    """``head :- body.``  An empty body makes the rule a fact template.
+
+    Safety (range restriction + negation safety) is checked at
+    construction; the linter parses with ``check=False`` so it can *report*
+    violations with source positions instead of dying on the first one.
+    ``line`` carries the 1-based source line for rules that came from
+    parsed text (0 for programmatically built rules); it is excluded from
+    equality so parsed rules compare by content.
+    """
 
     head: Atom
     body: List[BodyItem] = field(default_factory=list)
+    line: int = field(default=0, compare=False)
+    check: InitVar[bool] = True
 
-    def __post_init__(self) -> None:
-        self._check_safety()
+    def __post_init__(self, check: bool = True) -> None:
+        if check:
+            self._check_safety()
 
-    def _check_safety(self) -> None:
-        """Every head/negated/filter variable must occur in a positive literal."""
+    def safety_violations(self) -> List[str]:
+        """Range-restriction / negation-safety violations, as messages."""
+        violations: List[str] = []
         positive: set = set()
         for item in self.body:
             if isinstance(item, Literal) and not item.negated:
                 positive.update(item.atom.variables())
         for head_var in self.head.variables():
             if head_var not in positive and self.body:
-                raise ValueError(
-                    "unsafe rule: head variable %r not bound positively in %r"
-                    % (head_var, self)
+                violations.append(
+                    "head variable %r not bound positively in %r" % (head_var, self)
                 )
         for item in self.body:
             if isinstance(item, Literal) and item.negated:
                 for negated_var in item.atom.variables():
                     if negated_var not in positive:
-                        raise ValueError(
-                            "unsafe rule: negated variable %r not bound in %r"
+                        violations.append(
+                            "negated variable %r not bound in %r"
                             % (negated_var, self)
                         )
+        return violations
+
+    def _check_safety(self) -> None:
+        """Every head/negated/filter variable must occur in a positive literal."""
+        violations = self.safety_violations()
+        if violations:
+            raise ValueError("unsafe rule: %s" % violations[0])
 
     def __repr__(self) -> str:
         if not self.body:

@@ -52,7 +52,7 @@ class TestAnalyze:
         assert main(["analyze", "--source", victim_file, "--profile"]) == 1
         output = capsys.readouterr().out
         assert "pipeline profile:" in output
-        for stage in ("lift", "facts", "storage", "guards", "taint", "detect"):
+        for stage in ("lift", "facts", "values", "storage", "guards", "taint", "detect"):
             assert stage in output
         assert "cache" in output
 
@@ -131,3 +131,79 @@ class TestEngineFlag:
 
         assert main(["analyze", "--source", victim_file, "--engine", "datalog"]) == 1
         assert "accessible-selfdestruct" in capsys.readouterr().out
+
+
+class TestLintRules:
+    def test_shipped_rules_pass(self, capsys):
+        assert main(["lint-rules"]) == 0
+        output = capsys.readouterr().out
+        assert "0 error(s)" in output
+
+    def test_bad_file_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.dl"
+        bad.write_text(
+            ".decl Edge(a, b)\n"
+            "Path(x) :- Edge(x, y, z).\n"
+            "Bad(x, q) :- Edge(x, y).\n"
+            "Odd(x) :- Edge(x, y), !Odd(y).\n"
+        )
+        assert main(["lint-rules", str(bad)]) == 1
+        output = capsys.readouterr().out
+        assert "arity-mismatch" in output
+        assert "unsafe-rule" in output
+        assert "negation-in-recursion" in output
+        # Diagnostics carry file and line.
+        assert "%s:2:" % bad in output
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.dl"
+        good.write_text("Path(x, y) :- Edge(x, y).\n")
+        assert main(["lint-rules", str(good)]) == 0
+
+    def test_warnings_only_exit_zero(self, tmp_path, capsys):
+        warned = tmp_path / "warned.dl"
+        warned.write_text(".decl Ghost(a)\nPath(x, y) :- Edge(x, y).\n")
+        assert main(["lint-rules", str(warned)]) == 0
+        assert "unused-relation" in capsys.readouterr().out
+
+    def test_strata_preview(self, capsys):
+        assert main(["lint-rules", "--strata"]) == 0
+        output = capsys.readouterr().out
+        assert "strata for" in output
+        assert "TaintedStorage" in output
+
+
+class TestValueAnalysisFlag:
+    def test_flag_changes_probe_verdict(self, tmp_path, capsys):
+        probe = tmp_path / "probe.msol"
+        probe.write_text(
+            """
+contract Probe {
+    uint256[2] flags;
+    address owner;
+    constructor() { owner = msg.sender; }
+    function set(uint256 choice, uint256 value) public {
+        flags[choice == 7] = value;
+    }
+    function kill() public {
+        require(msg.sender == owner);
+        selfdestruct(owner);
+    }
+}
+"""
+        )
+        assert main(["analyze", "--source", str(probe)]) == 1
+        capsys.readouterr()
+        assert main(["analyze", "--source", str(probe), "--value-analysis"]) == 0
+        assert "no vulnerabilities" in capsys.readouterr().out
+
+    def test_profile_prints_precision_counters(self, safe_file, capsys):
+        main(["analyze", "--source", safe_file, "--profile"])
+        output = capsys.readouterr().out
+        assert "precision counters:" in output
+        assert "resolved_store_indices" in output
+
+    def test_sweep_accepts_value_analysis(self, capsys):
+        assert main(["sweep", "--size", "4", "--seed", "3", "--value-analysis",
+                     "--profile"]) == 0
+        assert "precision counters:" in capsys.readouterr().out

@@ -190,3 +190,128 @@ class TestVictimGuards:
         # The selfdestruct is guarded (statically) by onlyAdmins.
         selfdestruct = facts.selfdestructs[0]
         assert guards.is_guarded(selfdestruct.ident)
+
+
+class TestConditionNormalization:
+    """_normalize / _atoms over synthetic def chains: ISZERO stripping and
+    nested-AND decomposition."""
+
+    @staticmethod
+    def _facts(statements, const_value=None):
+        from repro.ir.tac import TACBlock, TACProgram
+
+        block = TACBlock(ident="B0", offset=0, statements=list(statements))
+        program = TACProgram(
+            blocks={"B0": block}, entry="B0", const_value=dict(const_value or {})
+        )
+        return extract_facts(program)
+
+    @staticmethod
+    def _stmt(ident, opcode, defs=(), uses=()):
+        from repro.ir.tac import TACStatement
+
+        return TACStatement(
+            ident=ident, opcode=opcode, defs=list(defs), uses=list(uses)
+        )
+
+    def test_double_iszero_chain_restores_polarity(self):
+        from repro.core.guards import _normalize
+
+        facts = self._facts(
+            [
+                self._stmt("s0", "CALLDATALOAD", ["x"], ["o"]),
+                self._stmt("s1", "ISZERO", ["a"], ["x"]),
+                self._stmt("s2", "ISZERO", ["b"], ["a"]),
+            ]
+        )
+        assert _normalize(facts, "b", True) == ("x", True)
+        assert _normalize(facts, "a", True) == ("x", False)
+
+    def test_triple_iszero_chain_flips_polarity(self):
+        from repro.core.guards import _normalize
+
+        facts = self._facts(
+            [
+                self._stmt("s0", "CALLDATALOAD", ["x"], ["o"]),
+                self._stmt("s1", "ISZERO", ["a"], ["x"]),
+                self._stmt("s2", "ISZERO", ["b"], ["a"]),
+                self._stmt("s3", "ISZERO", ["c"], ["b"]),
+            ]
+        )
+        assert _normalize(facts, "c", True) == ("x", False)
+        assert _normalize(facts, "c", False) == ("x", True)
+
+    def test_nested_and_decomposes_into_all_conjuncts(self):
+        from repro.core.guards import _atoms
+
+        facts = self._facts(
+            [
+                self._stmt("s0", "CALLDATALOAD", ["p"], ["o1"]),
+                self._stmt("s1", "CALLDATALOAD", ["q"], ["o2"]),
+                self._stmt("s2", "CALLDATALOAD", ["r"], ["o3"]),
+                self._stmt("s3", "AND", ["pq"], ["p", "q"]),
+                self._stmt("s4", "AND", ["pqr"], ["pq", "r"]),
+            ]
+        )
+        atoms = _atoms(facts, "pqr", True)
+        assert sorted(atoms) == [("p", True), ("q", True), ("r", True)]
+
+    def test_and_under_iszero_not_decomposed(self):
+        """!(p && q) is NOT p' && q' — the conjunction must survive whole."""
+        from repro.core.guards import _atoms
+
+        facts = self._facts(
+            [
+                self._stmt("s0", "CALLDATALOAD", ["p"], ["o1"]),
+                self._stmt("s1", "CALLDATALOAD", ["q"], ["o2"]),
+                self._stmt("s2", "AND", ["pq"], ["p", "q"]),
+                self._stmt("s3", "ISZERO", ["n"], ["pq"]),
+            ]
+        )
+        assert _atoms(facts, "n", True) == [("pq", False)]
+
+
+class TestValueResolvedGuards:
+    """EQ_SENDER guards whose compared operand only becomes a known slot
+    through the value-analysis stratum (a computed-but-singleton load)."""
+
+    SOURCE = """
+contract G {
+    address[2] owners;
+    uint256 x;
+
+    constructor() { owners[0] = msg.sender; }
+
+    function f(uint256 v) public {
+        uint256 idx = 0;
+        require(msg.sender == owners[idx]);
+        x = v;
+    }
+}
+"""
+
+    @staticmethod
+    def _models(source, value_analysis):
+        from repro.ir.value_analysis import analyze_values
+
+        program = lift(compile_source(source).runtime)
+        facts = extract_facts(program)
+        if value_analysis:
+            facts = facts.with_variable_values(analyze_values(program).exported())
+        storage = build_storage_model(facts)
+        return facts, storage, build_guard_model(facts, storage)
+
+    def test_without_value_analysis_no_compared_slot(self):
+        facts, storage, guards = self._models(self.SOURCE, value_analysis=False)
+        eq_guards = [g for g in guards.guards if g.kind == EQ_SENDER]
+        assert eq_guards
+        assert all(not g.compared_slots for g in eq_guards)
+
+    def test_with_value_analysis_compared_slot_resolved(self):
+        facts, storage, guards = self._models(self.SOURCE, value_analysis=True)
+        eq_guards = [g for g in guards.guards if g.kind == EQ_SENDER]
+        assert any(0 in g.compared_slots for g in eq_guards)
+
+    def test_value_alias_recorded_on_storage_model(self):
+        facts, storage, guards = self._models(self.SOURCE, value_analysis=True)
+        assert any(slots == {0} for slots in storage.value_alias.values())

@@ -7,6 +7,16 @@ from repro.ir.dominators import compute_dominators, dominance_frontier, immediat
 DIAMOND = {"entry": ["a", "b"], "a": ["join"], "b": ["join"], "join": []}
 CHAIN = {"a": ["b"], "b": ["c"], "c": []}
 LOOP = {"entry": ["head"], "head": ["body", "exit"], "body": ["head"], "exit": []}
+# Diamond whose join jumps back to the branch head — the shape where a
+# naive RPO pass needs a second iteration to converge.
+DIAMOND_BACK_EDGE = {
+    "entry": ["head"],
+    "head": ["a", "b"],
+    "a": ["join"],
+    "b": ["join"],
+    "join": ["head", "exit"],
+    "exit": [],
+}
 
 
 class TestDominators:
@@ -32,6 +42,48 @@ class TestDominators:
     def test_entry_only_dominates_itself_trivially(self):
         dom = compute_dominators("a", {"a": []})
         assert dom == {"a": {"a"}}
+
+    def test_diamond_with_back_edge(self):
+        dom = compute_dominators("entry", DIAMOND_BACK_EDGE)
+        # The back edge join -> head must not let the arms dominate the
+        # join, nor the join dominate the head.
+        assert dom["head"] == {"entry", "head"}
+        assert dom["join"] == {"entry", "head", "join"}
+        assert dom["a"] == {"entry", "head", "a"}
+        assert dom["exit"] == {"entry", "head", "join", "exit"}
+
+    def test_unreachable_cluster_with_edge_into_reachable_region(self):
+        # Unreachable blocks are omitted even when they have edges into
+        # (and among) the reachable region.
+        graph = {
+            "entry": ["a"],
+            "a": [],
+            "dead1": ["dead2", "a"],
+            "dead2": ["dead1"],
+        }
+        dom = compute_dominators("entry", graph)
+        assert set(dom) == {"entry", "a"}
+        # The dead predecessor must not disturb a's dominators.
+        assert dom["a"] == {"entry", "a"}
+
+
+class TestBackEdgeIdoms:
+    def test_diamond_back_edge_idoms(self):
+        idom = immediate_dominators("entry", DIAMOND_BACK_EDGE)
+        assert idom == {
+            "entry": None,
+            "head": "entry",
+            "a": "head",
+            "b": "head",
+            "join": "head",
+            "exit": "join",
+        }
+
+    def test_unreachable_nodes_absent_from_idoms(self):
+        graph = {"a": ["b"], "b": [], "island": ["b"]}
+        idom = immediate_dominators("a", graph)
+        assert set(idom) == {"a", "b"}
+        assert idom["b"] == "a"
 
 
 class TestImmediateDominators:
