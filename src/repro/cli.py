@@ -86,6 +86,22 @@ def _print_precision(precision: dict, stream=None) -> None:
         print("  %-28s %d" % (key, value), file=stream)
 
 
+def _print_datalog_stats(stats: dict, stream=None) -> None:
+    """Datalog engine counters (the ``--profile`` section for the datalog
+    engines): flat join/index/iteration counters plus per-rule derivation
+    counts, most productive rules first."""
+    stream = stream if stream is not None else sys.stdout
+    print("datalog engine:", file=stream)
+    for key, value in stats.items():
+        if isinstance(value, int):
+            print("  %-28s %d" % (key, value), file=stream)
+    rule_derivations = stats.get("rule_derivations") or {}
+    if rule_derivations:
+        print("  per-rule derivations:", file=stream)
+        for rule, count in rule_derivations.items():
+            print("    %6d  %s" % (count, rule), file=stream)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     """``repro analyze``: run Ethainter on source or hex bytecode."""
     runtime = _read_bytecode(args)
@@ -109,6 +125,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         if result.deadline_exceeded:
             print("  (deadline exceeded)", file=stream)
         _print_precision(result.precision.as_dict(), stream=stream)
+        if result.datalog_stats:
+            _print_datalog_stats(result.datalog_stats, stream=stream)
     if args.json:
         from repro.core.report import ContractReport
 
@@ -244,7 +262,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     corpus = generate_corpus(args.size, seed=args.seed)
     cache = ArtifactCache(max_entries=max(4096, 8 * len(corpus)))
-    config = AnalysisConfig(value_analysis=args.value_analysis)
+    config = AnalysisConfig(
+        value_analysis=args.value_analysis, engine=args.engine
+    )
     sweep = SweepReport()
     for contract in corpus:
         result = analyze_bytecode(contract.runtime, config, cache=cache)
@@ -269,6 +289,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         if summary["deadline_exceeded"]:
             print("  deadline exceeded on %d contract(s)" % summary["deadline_exceeded"])
         _print_precision(summary["precision"])
+        if summary.get("datalog"):
+            _print_datalog_stats(summary["datalog"])
     if args.json:
         _Path(args.json).write_text(sweep.to_json())
         print("full report written to %s" % args.json)
@@ -382,9 +404,10 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--timeout", type=float, default=120.0)
     analyze.add_argument(
         "--engine",
-        choices=["python", "datalog"],
+        choices=["python", "datalog", "datalog-legacy"],
         default="python",
-        help="fixpoint engine (datalog = the declarative rules, slower)",
+        help="fixpoint engine (datalog = the declarative rules on compiled "
+        "join plans; datalog-legacy = the uncompiled interpreter baseline)",
     )
     analyze.add_argument(
         "--compare", action="store_true", help="also run Securify/teEther baselines"
@@ -422,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--value-analysis",
         action="store_true",
         help="enable the value-set stratum for every contract in the sweep",
+    )
+    sweep.add_argument(
+        "--engine",
+        choices=["python", "datalog", "datalog-legacy"],
+        default="python",
+        help="fixpoint engine for every contract in the sweep",
     )
     sweep.set_defaults(func=cmd_sweep)
 

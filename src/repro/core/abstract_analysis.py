@@ -53,6 +53,9 @@ class AbstractResult:
     dsa: Set[str] = field(default_factory=set)  # DSA(x)
     violations: Set[str] = field(default_factory=set)  # sink variables
     computed_sinks: Set[int] = field(default_factory=set)  # §4.5 slots
+    # Datalog-engine profiling (EngineStats.as_dict()); None for the direct
+    # fixpoint in this module.
+    engine_stats: Optional[Dict] = None
 
     def tainted(self, variable: str) -> bool:
         return variable in self.input_tainted or variable in self.storage_tainted

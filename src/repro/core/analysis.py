@@ -54,10 +54,12 @@ class AnalysisConfig:
     timeout_seconds: float = 120.0
     max_lift_states: int = 20_000
     # Which fixpoint engine runs the taint rules: the tuned Python fixpoint
-    # (default) or the declarative Datalog rules (paper-faithful; slower;
-    # cross-checked equal in the test suite).  The Datalog path does not
-    # reconstruct per-variable witnesses, so warning detail text is terser.
-    engine: str = "python"  # "python" | "datalog"
+    # (default), the declarative Datalog rules on compiled join plans
+    # ("datalog"; paper-faithful, cross-checked equal in the test suite),
+    # or the uncompiled Datalog interpreter ("datalog-legacy"; equivalence
+    # and benchmark baseline only).  The Datalog paths do not reconstruct
+    # per-variable witnesses, so warning detail text is terser.
+    engine: str = "python"  # "python" | "datalog" | "datalog-legacy"
 
     def taint_options(self) -> TaintOptions:
         return TaintOptions(
@@ -143,6 +145,9 @@ class AnalysisResult:
     cache_hits: int = 0
     cache_misses: int = 0
     precision: PrecisionCounters = field(default_factory=PrecisionCounters)
+    # Datalog EngineStats.as_dict() when a datalog engine ran the taint
+    # stage (per-rule derivation counts, join/index probes, iterations).
+    datalog_stats: Optional[Dict] = None
     taint: Optional[TaintResult] = None
     facts: Optional[ContractFacts] = None
     guards: Optional[GuardModel] = None
@@ -213,6 +218,7 @@ class EthainterAnalysis:
         result.storage = artifacts.get("storage")
         result.guards = artifacts.get("guards")
         result.taint = artifacts.get("taint")
+        result.datalog_stats = getattr(result.taint, "engine_stats", None)
         findings = artifacts.get("detect")
         if findings is not None:
             result.warnings = [

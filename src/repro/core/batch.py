@@ -44,6 +44,10 @@ class BatchEntry:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
+    # Flat Datalog engine counters (derived_facts, join_probes, iterations,
+    # ...) when a datalog engine ran the taint stage — kept scalar-only so
+    # entries stay cheap to pickle back from pool workers.
+    datalog: Dict[str, int] = field(default_factory=dict)
 
     @property
     def flagged(self) -> bool:
@@ -98,12 +102,23 @@ class BatchSummary:
                 totals[name] = totals.get(name, 0.0) + seconds
         return totals
 
+    def datalog_totals(self) -> Dict[str, int]:
+        """Summed Datalog engine counters across all entries (empty when
+        the batch ran on the Python fixpoint) — slow contracts are
+        diagnosable from derivation/probe volume without rerunning."""
+        totals: Dict[str, int] = {}
+        for entry in self.entries:
+            for name, value in entry.datalog.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
     @property
     def total_analysis_seconds(self) -> float:
         return sum(entry.elapsed_seconds for entry in self.entries)
 
 
 def _entry_from_result(index: int, result: AnalysisResult) -> BatchEntry:
+    stats = result.datalog_stats or {}
     return BatchEntry(
         index=index,
         kinds=tuple(sorted({warning.kind for warning in result.warnings})),
@@ -114,6 +129,11 @@ def _entry_from_result(index: int, result: AnalysisResult) -> BatchEntry:
         stage_seconds=result.stage_seconds(),
         cache_hits=result.cache_hits,
         cache_misses=result.cache_misses,
+        datalog={
+            name: value
+            for name, value in stats.items()
+            if isinstance(value, int)
+        },
     )
 
 

@@ -246,6 +246,7 @@ def analyze_with_datalog(
     guards: Optional[GuardModel] = None,
     options: Optional[TaintOptions] = None,
     track_provenance: bool = False,
+    use_plans: bool = True,
 ) -> TaintResult:
     """Run the declarative bytecode analysis.
 
@@ -257,6 +258,9 @@ def analyze_with_datalog(
     reporting path).  With ``track_provenance=True`` the evaluating
     :class:`~repro.datalog.Engine` is attached as ``result.engine`` so
     callers can render derivation trees for the findings.
+    ``use_plans=False`` selects the legacy interpreter (the
+    ``engine="datalog-legacy"`` config value — equivalence baseline only).
+    The engine's profiling counters land in ``result.engine_stats``.
     """
     options = options or TaintOptions()
     if facts is None:
@@ -270,7 +274,11 @@ def analyze_with_datalog(
         guards = build_guard_model(facts, storage)
 
     database = _facts_to_database(facts, storage, guards, options)
-    engine = Engine(_rules(options), track_provenance=track_provenance)
+    engine = Engine(
+        _rules(options),
+        track_provenance=track_provenance,
+        use_plans=use_plans,
+    )
     engine.evaluate(database, deadline=options.deadline)
 
     result = TaintResult()
@@ -282,6 +290,8 @@ def analyze_with_datalog(
         row[0] for row in database.facts("CompromisedGuard")
     }
     result.writable_mappings = {row[0] for row in database.facts("WritableMapping")}
+    result.iterations = engine.stats.iterations
+    result.engine_stats = engine.stats.as_dict()
     if track_provenance:
         result.engine = engine  # type: ignore[attr-defined]
     return result

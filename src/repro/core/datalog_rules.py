@@ -129,14 +129,19 @@ def facts_from_program(program: AbstractProgram) -> Database:
     return database
 
 
-def analyze_with_datalog(program: AbstractProgram) -> AbstractResult:
+def analyze_with_datalog(
+    program: AbstractProgram, use_plans: bool = True
+) -> AbstractResult:
     """Run the Figure 3/4 rules on the Datalog engine; package the result
-    in the same :class:`AbstractResult` shape as the direct fixpoint."""
+    in the same :class:`AbstractResult` shape as the direct fixpoint.
+    ``use_plans=False`` runs the legacy interpreter (benchmark baseline)."""
     database = facts_from_program(program)
     rules = parse_program(ETHAINTER_RULES).rules
-    Engine(rules).evaluate(database)
+    engine = Engine(rules, use_plans=use_plans)
+    engine.evaluate(database)
 
     result = AbstractResult()
+    result.engine_stats = engine.stats.as_dict()
     result.input_tainted = {row[0] for row in database.facts("InputTaintedVar")}
     result.storage_tainted = {row[0] for row in database.facts("StorageTaintedVar")}
     result.tainted_storage = {row[0] for row in database.facts("TaintedStorage")}

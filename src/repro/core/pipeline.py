@@ -205,7 +205,7 @@ def _run_guards(ctx: PipelineContext):
 def _run_taint(ctx: PipelineContext):
     options = ctx.config.taint_options()
     options.deadline = ctx.deadline
-    if ctx.config.engine == "datalog":
+    if ctx.config.engine in ("datalog", "datalog-legacy"):
         from repro.core.bytecode_datalog import analyze_with_datalog
 
         return analyze_with_datalog(
@@ -213,6 +213,7 @@ def _run_taint(ctx: PipelineContext):
             storage=ctx.artifacts["storage"],
             guards=ctx.artifacts["guards"],
             options=options,
+            use_plans=ctx.config.engine != "datalog-legacy",
         )
     from repro.core.taint import TaintAnalysis
 

@@ -34,6 +34,9 @@ class ContractReport:
     cache_hits: int = 0
     cache_misses: int = 0
     precision: Dict[str, int] = field(default_factory=dict)
+    # Datalog EngineStats.as_dict() when a datalog engine ran the taint
+    # stage; None for the tuned Python fixpoint.
+    datalog: Optional[Dict] = None
 
     @classmethod
     def from_result(
@@ -64,6 +67,7 @@ class ContractReport:
             cache_hits=result.cache_hits,
             cache_misses=result.cache_misses,
             precision=result.precision.as_dict(),
+            datalog=result.datalog_stats,
         )
 
     def to_json(self, indent: int = 2) -> str:
@@ -87,6 +91,9 @@ class SweepReport:
     cache_hits: int = 0
     cache_misses: int = 0
     precision: Dict[str, int] = field(default_factory=dict)
+    # Summed Datalog engine counters over contracts that ran a datalog
+    # engine (derived_facts, join_probes, iterations, ...).
+    datalog: Dict[str, int] = field(default_factory=dict)
     contracts: List[ContractReport] = field(default_factory=list)
 
     def add(self, report: ContractReport) -> None:
@@ -98,6 +105,10 @@ class SweepReport:
         self.cache_misses += report.cache_misses
         for name, count in report.precision.items():
             self.precision[name] = self.precision.get(name, 0) + count
+        if report.datalog:
+            for name, value in report.datalog.items():
+                if isinstance(value, int):
+                    self.datalog[name] = self.datalog.get(name, 0) + value
         if report.deadline_exceeded:
             self.deadline_exceeded += 1
         if report.error:
@@ -140,6 +151,9 @@ class SweepReport:
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "precision": {
                 name: count for name, count in sorted(self.precision.items())
+            },
+            "datalog": {
+                name: count for name, count in sorted(self.datalog.items())
             },
         }
 

@@ -71,6 +71,9 @@ class TaintResult:
     witness: Dict[str, str] = field(default_factory=dict)
     slot_witness: Dict[int, str] = field(default_factory=dict)
     iterations: int = 0
+    # Datalog-engine observability (EngineStats.as_dict()); None when the
+    # tuned Python fixpoint produced this result.
+    engine_stats: Optional[Dict] = None
 
     def is_tainted(self, variable: str) -> bool:
         return variable in self.input_tainted or variable in self.storage_tainted

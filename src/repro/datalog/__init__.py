@@ -6,6 +6,10 @@ Ethainter rules in the paper.  Supports:
 * mutually recursive rules evaluated semi-naively (delta relations),
 * stratified negation (negative dependencies may not occur inside a
   recursive component — checked at stratification time),
+* compiled join plans (:mod:`repro.datalog.planner`): literals reordered
+  by a sideways-information-passing heuristic, constants and facts
+  interned to dense ints, indexes registered eagerly, per-rule
+  :class:`~repro.datalog.planner.EngineStats` profiling,
 * wildcard ``_`` arguments, constants, and Python filter predicates,
 * a textual parser for a Soufflé-like surface syntax (``:-``, ``!``, ``.``)
   with parse-time arity checking,
@@ -21,6 +25,7 @@ fixpoint code in the test suite.
 
 from repro.datalog.terms import Atom, Literal, Rule, Variable, var
 from repro.datalog.engine import Database, Engine, StratificationError
+from repro.datalog.planner import EngineStats, PlanningError
 from repro.datalog.parser import (
     DatalogSyntaxError,
     parse_program,
@@ -36,6 +41,8 @@ __all__ = [
     "Rule",
     "Database",
     "Engine",
+    "EngineStats",
+    "PlanningError",
     "StratificationError",
     "DatalogSyntaxError",
     "parse_program",

@@ -1,4 +1,4 @@
-"""Semi-naive, stratified Datalog evaluation.
+"""Semi-naive, stratified Datalog evaluation over compiled join plans.
 
 Evaluation pipeline:
 
@@ -7,17 +7,38 @@ Evaluation pipeline:
    a :class:`StratificationError` (the program is not stratifiable).  SCCs
    are evaluated in topological order, so a negated relation is always fully
    computed before it is read.
-2. **Semi-naive iteration** — within a recursive SCC, each iteration joins
-   one "delta" (facts new in the previous round) occurrence of a recursive
-   relation against full relations, avoiding re-derivation.
-3. **Indexed joins** — literals are matched via per-relation hash indexes on
-   their bound argument positions, built lazily per (relation, positions).
+2. **Query planning** — each rule is compiled (see
+   :mod:`repro.datalog.planner`) into a static join plan: body literals
+   reordered by a sideways-information-passing heuristic, per-literal index
+   signatures precomputed, and one delta-specialized variant per recursive
+   body position.  Plans are bound to the database once per evaluation
+   (constants interned, indexes registered eagerly) and executed by a flat,
+   non-recursive interpreter.
+3. **Semi-naive iteration** — within a recursive SCC, each round runs the
+   delta variants whose delta relation gained facts in the previous round,
+   probing per-round delta indexes so both sides of a recursive join are
+   indexed.
+
+The database interns every constant into a dense symbol table, so stored
+tuples are int-only: hashing, equality, and index keys never touch the
+original (possibly string) values.  The legacy closure-recursion
+interpreter is kept behind ``Engine(use_plans=False)`` as the equivalence
+baseline; both paths produce byte-identical fixpoints and provenance.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.datalog.planner import (
+    EngineStats,
+    FilterGuard,
+    NegGuard,
+    PlanningError,
+    PlanVariant,
+    RulePlan,
+    compile_strata,
+)
 from repro.datalog.terms import (
     Atom,
     Binding,
@@ -146,43 +167,124 @@ def condensation_levels(
 
 
 class Database:
-    """Fact storage: relation name -> set of tuples, with lazy hash indexes."""
+    """Interned fact storage with eagerly maintainable hash indexes.
+
+    Every constant is interned into a dense symbol table on first sight, so
+    relations store tuples of small ints: hashing, equality, and index keys
+    are int-only no matter how large the original values are.  The public
+    API (``add``/``facts``/``lookup``/``contains``) still speaks raw
+    values — interning is invisible to callers.
+
+    Indexes live per relation (``_indexes[relation][positions]``) so an
+    insert only maintains the inserted relation's indexes; they are
+    registered eagerly by compiled join plans (:meth:`register_index`) and
+    updated incrementally by every subsequent insert.
+    """
 
     def __init__(self) -> None:
-        self._relations: Dict[str, Set[Tuple]] = {}
-        # relation -> {bound positions: {key tuple: [facts]}} — nested by
-        # relation so inserts only touch the inserted relation's indexes
-        # (a flat map made every add() scan every index in the database).
+        self._intern: Dict[Any, int] = {}
+        self._symbols: List[Any] = []
+        # relation -> set of interned tuples
+        self._relations: Dict[str, Set[Tuple[int, ...]]] = {}
+        # relation -> {bound positions: {interned key: [interned facts]}} —
+        # nested by relation so inserts only touch the inserted relation's
+        # indexes (a flat map made every add() scan every index).
         self._indexes: Dict[str, Dict[Tuple[int, ...], Dict[Tuple, List[Tuple]]]] = {}
+        # relation -> cached frozenset of decoded facts (facts() result),
+        # invalidated on insert.
+        self._decoded: Dict[str, frozenset] = {}
+        # relation -> {interned fact: decoded fact} memo for lookup().
+        self._fact_memo: Dict[str, Dict[Tuple, Tuple]] = {}
+
+    # ---------------------------------------------------------- interning
+
+    def intern_value(self, value: Any) -> int:
+        """Dense id for ``value``, allocating one on first sight."""
+        ident = self._intern.get(value)
+        if ident is None:
+            ident = len(self._symbols)
+            self._intern[value] = ident
+            self._symbols.append(value)
+        return ident
+
+    def decode(self, fact: Tuple[int, ...]) -> Tuple:
+        """Raw-value tuple for an interned fact."""
+        symbols = self._symbols
+        return tuple(symbols[ident] for ident in fact)
+
+    # ------------------------------------------------------------ mutation
 
     def add(self, relation: str, fact: Iterable) -> bool:
-        """Insert one fact; returns True if it was new."""
-        fact_tuple = tuple(fact)
-        rel = self._relations.setdefault(relation, set())
-        if fact_tuple in rel:
+        """Insert one fact (raw values); returns True if it was new."""
+        intern = self._intern
+        symbols = self._symbols
+        interned: List[int] = []
+        for value in fact:
+            ident = intern.get(value)
+            if ident is None:
+                ident = len(symbols)
+                intern[value] = ident
+                symbols.append(value)
+            interned.append(ident)
+        return self._add_interned(relation, tuple(interned))
+
+    def _add_interned(self, relation: str, fact: Tuple[int, ...]) -> bool:
+        """Insert an already-interned fact; returns True if it was new."""
+        rel = self._relations.get(relation)
+        if rel is None:
+            rel = self._relations[relation] = set()
+        if fact in rel:
             return False
-        rel.add(fact_tuple)
-        # Update this relation's existing indexes incrementally.
-        for positions, index in self._indexes.get(relation, {}).items():
-            key = tuple(fact_tuple[p] for p in positions)
-            index.setdefault(key, []).append(fact_tuple)
+        rel.add(fact)
+        indexes = self._indexes.get(relation)
+        if indexes:
+            for positions, index in indexes.items():
+                key = tuple(fact[position] for position in positions)
+                bucket = index.get(key)
+                if bucket is None:
+                    index[key] = [fact]
+                else:
+                    bucket.append(fact)
+        self._decoded.pop(relation, None)
         return True
 
     def add_all(self, relation: str, facts: Iterable[Iterable]) -> int:
         """Insert many facts; returns how many were new."""
         return sum(1 for fact in facts if self.add(relation, fact))
 
-    def facts(self, relation: str) -> Set[Tuple]:
-        """The (live) fact set of ``relation``."""
-        return self._relations.get(relation, set())
+    # -------------------------------------------------------------- reads
+
+    def facts(self, relation: str) -> frozenset:
+        """Immutable snapshot of ``relation``'s facts (raw values).
+
+        The frozenset is cached until the relation next changes, so
+        repeated reads of a settled relation are free and callers can no
+        longer corrupt the store by mutating the result.
+        """
+        cached = self._decoded.get(relation)
+        if cached is None:
+            symbols = self._symbols
+            cached = frozenset(
+                tuple(symbols[ident] for ident in fact)
+                for fact in self._relations.get(relation, ())
+            )
+            self._decoded[relation] = cached
+        return cached
 
     def relations(self) -> List[str]:
-        """Names of all populated relations."""
-        return list(self._relations)
+        """Names of all non-empty relations."""
+        return [name for name, rel in self._relations.items() if rel]
 
     def contains(self, relation: str, fact: Iterable) -> bool:
-        """Membership test for one fact."""
-        return tuple(fact) in self._relations.get(relation, ())
+        """Membership test for one fact (raw values)."""
+        intern = self._intern
+        interned: List[int] = []
+        for value in fact:
+            ident = intern.get(value)
+            if ident is None:
+                return False
+            interned.append(ident)
+        return tuple(interned) in self._relations.get(relation, ())
 
     def count(self, relation: str) -> int:
         """Number of facts in ``relation``."""
@@ -190,27 +292,89 @@ class Database:
 
     def lookup(
         self, relation: str, positions: Tuple[int, ...], key: Tuple
-    ) -> List[Tuple]:
-        """Facts whose values at ``positions`` equal ``key`` (indexed)."""
+    ) -> Iterable[Tuple]:
+        """Facts whose values at ``positions`` equal ``key``.
+
+        With bound positions this probes (building if needed) the matching
+        hash index and returns a list of decoded facts; with no positions
+        it returns the cached :meth:`facts` frozenset instead of copying
+        the whole relation.
+        """
         if not positions:
-            return list(self._relations.get(relation, ()))
+            return self.facts(relation)
         relation_indexes = self._indexes.setdefault(relation, {})
         index = relation_indexes.get(positions)
         if index is None:
-            index = {}
-            for fact in self._relations.get(relation, ()):
-                fact_key = tuple(fact[p] for p in positions)
-                index.setdefault(fact_key, []).append(fact)
-            relation_indexes[positions] = index
-        return index.get(key, [])
+            index = self._build_index(relation, positions)
+        intern = self._intern
+        interned_key: List[int] = []
+        for value in key:
+            ident = intern.get(value)
+            if ident is None:
+                return []
+            interned_key.append(ident)
+        bucket = index.get(tuple(interned_key))
+        if not bucket:
+            return []
+        memo = self._fact_memo.setdefault(relation, {})
+        symbols = self._symbols
+        out: List[Tuple] = []
+        for fact in bucket:
+            decoded = memo.get(fact)
+            if decoded is None:
+                decoded = memo[fact] = tuple(symbols[ident] for ident in fact)
+            out.append(decoded)
+        return out
 
     def clone_relation(self, relation: str) -> Set[Tuple]:
-        """A copy of one relation's fact set."""
-        return set(self._relations.get(relation, ()))
+        """A mutable copy of one relation's decoded fact set."""
+        return set(self.facts(relation))
+
+    # ----------------------------------------------------- engine plumbing
+
+    def register_index(
+        self, relation: str, positions: Tuple[int, ...]
+    ) -> Tuple[Dict[Tuple, List[Tuple]], bool]:
+        """Ensure a hash index on ``positions`` exists (compiled plans call
+        this eagerly at bind time, before the fixpoint starts).
+
+        Returns ``(index, built)`` where ``built`` says whether this call
+        created it; the returned dict is live — inserts keep it fresh.
+        """
+        relation_indexes = self._indexes.setdefault(relation, {})
+        index = relation_indexes.get(positions)
+        if index is not None:
+            return index, False
+        return self._build_index(relation, positions), True
+
+    def _build_index(
+        self, relation: str, positions: Tuple[int, ...]
+    ) -> Dict[Tuple, List[Tuple]]:
+        index: Dict[Tuple, List[Tuple]] = {}
+        for fact in self._relations.get(relation, ()):
+            key = tuple(fact[position] for position in positions)
+            index.setdefault(key, []).append(fact)
+        self._indexes.setdefault(relation, {})[positions] = index
+        return index
+
+    def relation_view(self, relation: str) -> Set[Tuple[int, ...]]:
+        """The live *interned* fact set of ``relation``, created on demand
+        so bind-time captured references stay valid as facts arrive."""
+        rel = self._relations.get(relation)
+        if rel is None:
+            rel = self._relations[relation] = set()
+        return rel
 
 
 class Engine:
     """Evaluates a rule set over a database to fixpoint.
+
+    Rules are compiled into join plans at construction and re-planned
+    against actual relation sizes at each :meth:`evaluate` (see
+    :mod:`repro.datalog.planner`); ``use_plans=False`` selects the legacy
+    closure-recursion interpreter, kept as the equivalence and benchmark
+    baseline.  ``stats`` accumulates :class:`EngineStats` counters across
+    evaluations on either path.
 
     With ``track_provenance=True`` the engine records, for each derived
     fact, the rule and body facts of its *first* derivation; ``explain``
@@ -218,12 +382,25 @@ class Engine:
     analysis warning.
     """
 
-    def __init__(self, rules: Sequence[Rule], track_provenance: bool = False):
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        track_provenance: bool = False,
+        use_plans: bool = True,
+    ):
         self.rules = list(rules)
         self.track_provenance = track_provenance
+        self.use_plans = use_plans
+        self.stats = EngineStats()
         # (relation, fact) -> (rule, [(relation, fact), ...]) of 1st proof.
         self.provenance: Dict[Tuple[str, Tuple], Tuple[Rule, List[Tuple[str, Tuple]]]] = {}
         self.strata = self._stratify()
+        # Static compile (no size estimates) surfaces PlanningErrors —
+        # wildcards in negation, unbindable filter variables — at
+        # construction; evaluate() re-plans with live relation sizes.
+        self.plans: List[List[RulePlan]] = (
+            compile_strata(self.strata) if use_plans else []
+        )
 
     # -------------------------------------------------------- stratification
 
@@ -266,26 +443,107 @@ class Engine:
         ``check()`` raises when spent), consulted once per semi-naive
         iteration so runaway recursion respects the caller's cutoff.
         """
-        for stratum in self.strata:
-            self._evaluate_stratum(database, stratum, max_iterations, deadline)
+        self.stats.evaluations += 1
+        if self.use_plans:
+            # Re-plan with live relation sizes so the SIP heuristic orders
+            # joins by actual EDB cardinalities, then bind each stratum's
+            # plans (intern constants, register indexes) just before it runs
+            # so lower-stratum results inform upper-stratum plans.
+            self.plans = compile_strata(self.strata, size_of=database.count)
+            for stratum_plans in self.plans:
+                self._bind_stratum(database, stratum_plans)
+                self._evaluate_stratum_compiled(
+                    database, stratum_plans, max_iterations, deadline
+                )
+        else:
+            for stratum in self.strata:
+                self._evaluate_stratum(database, stratum, max_iterations, deadline)
         return database
 
-    def _evaluate_stratum(
+    # ----------------------------------------------------- compiled executor
+
+    def _bind_stratum(self, database: Database, plans: List[RulePlan]) -> None:
+        """Bind every variant of every plan to ``database``: intern plan
+        constants, capture live relation views, and eagerly register the
+        indexes the join steps declared."""
+        for plan in plans:
+            for variant in plan.variants():
+                self._bind_variant(database, variant)
+
+    def _bind_variant(self, database: Database, variant: PlanVariant) -> None:
+        intern = database.intern_value
+        for guard in variant.prelude:
+            self._bind_guard(database, guard)
+        for step in variant.steps:
+            step.key_spec = tuple(
+                (True, value) if from_slot else (False, intern(value))
+                for from_slot, value in step.key_spec
+            )
+            if step.key_spec and all(
+                not from_slot for from_slot, _ in step.key_spec
+            ):
+                step.static_key = tuple(value for _, value in step.key_spec)
+            if step.delta:
+                pass  # candidates come from the per-round delta sets
+            elif step.positions:
+                index, built = database.register_index(
+                    step.relation, step.positions
+                )
+                step.index = index
+                if built:
+                    self.stats.index_builds += 1
+            else:
+                step.rel_set = database.relation_view(step.relation)
+            for guard in step.guards:
+                self._bind_guard(database, guard)
+        variant.head_spec = tuple(
+            (True, value) if from_slot else (False, intern(value))
+            for from_slot, value in variant.head_spec
+        )
+        if all(not from_slot for from_slot, _ in variant.head_spec):
+            variant.static_head = tuple(
+                value for _, value in variant.head_spec
+            )
+
+    def _bind_guard(self, database: Database, guard) -> None:
+        if isinstance(guard, NegGuard):
+            guard.key_spec = tuple(
+                (True, value)
+                if from_slot
+                else (False, database.intern_value(value))
+                for from_slot, value in guard.key_spec
+            )
+            guard.rel_set = database.relation_view(guard.relation)
+        # FilterGuard constants stay raw: predicates see original values.
+
+    def _evaluate_stratum_compiled(
         self,
         database: Database,
-        rules: List[Rule],
+        plans: List[RulePlan],
         max_iterations: int,
         deadline=None,
     ) -> None:
-        heads = {rule.head.relation for rule in rules}
+        stats = self.stats
+        tracking = self.track_provenance
+        heads = {plan.rule.head.relation for plan in plans}
+
+        def flush(plan: RulePlan, matches, delta_out) -> None:
+            derived = 0
+            relation = plan.rule.head.relation
+            for head_fact, support in matches:
+                if database._add_interned(relation, head_fact):
+                    derived += 1
+                    delta_out[relation].add(head_fact)
+                    if tracking:
+                        self._record_interned(
+                            database, plan.rule, head_fact, support
+                        )
+            stats.count_rule(plan.key, len(matches), derived)
 
         # Naive first round to seed deltas, then semi-naive iteration.
         delta: Dict[str, Set[Tuple]] = {rel: set() for rel in heads}
-        for rule in rules:
-            for fact, support in self._derive(database, rule, None, {}):
-                if database.add(rule.head.relation, fact):
-                    delta[rule.head.relation].add(fact)
-                    self._record(rule, fact, support)
+        for plan in plans:
+            flush(plan, self._run_variant(database, plan.seed, None, None), delta)
 
         iterations = 0
         while any(delta.values()):
@@ -294,8 +552,185 @@ class Engine:
                 raise RuntimeError("datalog evaluation did not converge")
             if deadline is not None:
                 deadline.check()
+            stats.iterations += 1
+            new_delta: Dict[str, Set[Tuple]] = {rel: set() for rel in heads}
+            delta_index_cache: Dict[Tuple[str, Tuple[int, ...]], Dict] = {}
+            for plan in plans:
+                for variant in plan.delta_variants.values():
+                    if not delta.get(variant.delta_relation):
+                        continue
+                    flush(
+                        plan,
+                        self._run_variant(
+                            database, variant, delta, delta_index_cache
+                        ),
+                        new_delta,
+                    )
+            delta = new_delta
+        stats.stratum_iterations.append(iterations)
+
+    def _run_variant(
+        self,
+        database: Database,
+        variant: PlanVariant,
+        delta: Optional[Dict[str, Set[Tuple]]],
+        delta_index_cache: Optional[Dict],
+    ) -> List[Tuple[Tuple, list]]:
+        """Execute one bound plan variant: a flat backtracking join over
+        resumable candidate iterators.  Returns ``(head fact, support)``
+        pairs (support is empty unless provenance tracking is on)."""
+        env: List[Any] = [None] * variant.n_slots
+        for guard in variant.prelude:
+            if not self._eval_guard(database, guard, env):
+                return []
+        steps = variant.steps
+        depth = len(steps)
+        if depth == 0:
+            return [(variant.static_head, [])]
+        tracking = self.track_provenance
+        results: List[Tuple[Tuple, list]] = []
+        iters: List[Any] = [None] * depth
+        trail: List[Any] = [None] * depth
+        head_spec = variant.head_spec
+        static_head = variant.static_head
+        level = 0
+        iters[0] = self._candidates(steps[0], env, delta, delta_index_cache)
+        while level >= 0:
+            step = steps[level]
+            descended = False
+            for fact in iters[level]:
+                ok = True
+                for position, slot in step.outs:
+                    env[slot] = fact[position]
+                for position, slot in step.checks:
+                    if fact[position] != env[slot]:
+                        ok = False
+                        break
+                if ok:
+                    for guard in step.guards:
+                        if not self._eval_guard(database, guard, env):
+                            ok = False
+                            break
+                if not ok:
+                    continue
+                if tracking:
+                    trail[level] = (step.orig_index, step.relation, fact)
+                if level + 1 == depth:
+                    head = static_head
+                    if head is None:
+                        head = tuple(
+                            env[value] if from_slot else value
+                            for from_slot, value in head_spec
+                        )
+                    results.append((head, list(trail) if tracking else []))
+                    continue
+                level += 1
+                iters[level] = self._candidates(
+                    steps[level], env, delta, delta_index_cache
+                )
+                descended = True
+                break
+            if not descended:
+                level -= 1
+        return results
+
+    def _candidates(
+        self,
+        step,
+        env: List[Any],
+        delta: Optional[Dict[str, Set[Tuple]]],
+        delta_index_cache: Optional[Dict],
+    ):
+        """Iterator over a join step's candidate facts: delta set/index for
+        delta steps, registered index probe or full scan otherwise."""
+        stats = self.stats
+        stats.join_probes += 1
+        if step.delta:
+            facts = delta.get(step.relation, ())
+            if not step.positions:
+                return iter(facts)
+            cache_key = (step.relation, step.positions)
+            index = delta_index_cache.get(cache_key)
+            if index is None:
+                index = {}
+                for fact in facts:
+                    key = tuple(fact[position] for position in step.positions)
+                    index.setdefault(key, []).append(fact)
+                delta_index_cache[cache_key] = index
+                stats.delta_index_builds += 1
+            key = step.static_key
+            if key is None:
+                key = tuple(
+                    env[value] if from_slot else value
+                    for from_slot, value in step.key_spec
+                )
+            return iter(index.get(key, ()))
+        if not step.positions:
+            return iter(step.rel_set)
+        key = step.static_key
+        if key is None:
+            key = tuple(
+                env[value] if from_slot else value
+                for from_slot, value in step.key_spec
+            )
+        stats.index_probes += 1
+        bucket = step.index.get(key)
+        if bucket is None:
+            return iter(())
+        stats.index_hits += 1
+        return iter(bucket)
+
+    def _eval_guard(self, database: Database, guard, env: List[Any]) -> bool:
+        """Evaluate a bound negation or filter guard against the current
+        slot environment."""
+        if guard.__class__ is NegGuard:
+            probe = tuple(
+                env[value] if from_slot else value
+                for from_slot, value in guard.key_spec
+            )
+            return probe not in guard.rel_set
+        symbols = database._symbols
+        values = [
+            symbols[env[value]] if from_slot else value
+            for from_slot, value in guard.arg_spec
+        ]
+        return bool(guard.predicate(*values))
+
+    # ------------------------------------------------------- legacy executor
+
+    def _evaluate_stratum(
+        self,
+        database: Database,
+        rules: List[Rule],
+        max_iterations: int,
+        deadline=None,
+    ) -> None:
+        stats = self.stats
+        heads = {rule.head.relation for rule in rules}
+
+        # Naive first round to seed deltas, then semi-naive iteration.
+        delta: Dict[str, Set[Tuple]] = {rel: set() for rel in heads}
+        for rule in rules:
+            results = self._derive(database, rule, None, {})
+            derived = 0
+            for fact, support in results:
+                if database.add(rule.head.relation, fact):
+                    delta[rule.head.relation].add(fact)
+                    derived += 1
+                    self._record(rule, fact, support)
+            stats.count_rule(repr(rule), len(results), derived)
+
+        iterations = 0
+        while any(delta.values()):
+            iterations += 1
+            if iterations > max_iterations:
+                raise RuntimeError("datalog evaluation did not converge")
+            if deadline is not None:
+                deadline.check()
+            stats.iterations += 1
             new_delta: Dict[str, Set[Tuple]] = {rel: set() for rel in heads}
             for rule in rules:
+                rule_key = None
                 recursive_positions = [
                     position
                     for position, item in enumerate(rule.body)
@@ -305,13 +740,19 @@ class Engine:
                     and delta.get(item.atom.relation)
                 ]
                 for delta_position in recursive_positions:
-                    for fact, support in self._derive(
-                        database, rule, delta_position, delta
-                    ):
+                    results = self._derive(database, rule, delta_position, delta)
+                    derived = 0
+                    for fact, support in results:
                         if database.add(rule.head.relation, fact):
                             new_delta[rule.head.relation].add(fact)
+                            derived += 1
                             self._record(rule, fact, support)
+                    if results:
+                        if rule_key is None:
+                            rule_key = repr(rule)
+                        stats.count_rule(rule_key, len(results), derived)
             delta = new_delta
+        stats.stratum_iterations.append(iterations)
 
     def _derive(
         self,
@@ -346,12 +787,18 @@ class Engine:
                 return
             atom, negated = item.atom, item.negated
             if negated:
-                # All variables are bound (safety check at construction).
-                probe = tuple(
-                    binding[arg] if isinstance(arg, Variable) else arg
-                    for arg in atom.args
-                )
-                if not database.contains(atom.relation, probe):
+                probe = []
+                for arg in atom.args:
+                    if isinstance(arg, Variable):
+                        if arg.is_wildcard or arg not in binding:
+                            raise PlanningError(
+                                "unbound or wildcard variable %r in negated "
+                                "literal %r of rule %r" % (arg, item, rule)
+                            )
+                        probe.append(binding[arg])
+                    else:
+                        probe.append(arg)
+                if not database.contains(atom.relation, tuple(probe)):
                     join(position + 1, binding, support)
                 return
             if position == delta_position:
@@ -390,7 +837,6 @@ class Engine:
         join(0, {}, [])
         return results
 
-
     # ----------------------------------------------------------- provenance
 
     def _record(
@@ -401,6 +847,20 @@ class Engine:
         key = (rule.head.relation, fact)
         if key not in self.provenance:
             self.provenance[key] = (rule, support)
+
+    def _record_interned(
+        self, database: Database, rule: Rule, fact: Tuple, support: list
+    ) -> None:
+        """Record a compiled-path derivation: decode the head and supports
+        and restore original body order (supports sort by body index)."""
+        key = (rule.head.relation, database.decode(fact))
+        if key in self.provenance:
+            return
+        decoded = [
+            (relation, database.decode(body_fact))
+            for _, relation, body_fact in sorted(support)
+        ]
+        self.provenance[key] = (rule, decoded)
 
     def explain(
         self, relation: str, fact: Iterable, max_depth: int = 32

@@ -9,7 +9,8 @@ it surfaces at evaluation time, after contracts have already been
 * **range restriction** — every head variable bound in a positive body
   literal, and no wildcard in a rule head (``substitute`` would die),
 * **negation safety** — every variable of a negated literal bound
-  positively,
+  positively, and no wildcard under negation (the engine's membership
+  probe cannot execute it; reported as ``wildcard-negation``),
 * **arity consistency** — every atom's arity agrees with the relation's
   ``.decl`` (or, for undeclared relations, its first use),
 * **duplicate / unused relations** — re-declared relations, declared
@@ -51,6 +52,7 @@ _ERROR_CODES = {
     "arity-mismatch",
     "unsafe-rule",
     "wildcard-head",
+    "wildcard-negation",
     "negation-in-recursion",
 }
 
@@ -205,16 +207,23 @@ def lint_text(text: str, source: str = "<datalog>") -> List[LintFinding]:
                 message=str(error),
             )
         ]
-    findings = [
-        LintFinding(
-            source=source,
-            line=issue.line,
-            code=issue.code,
-            severity=ERROR if issue.code in _ERROR_CODES else WARNING,
-            message=issue.message,
+    findings = []
+    for issue in program.issues:
+        code = issue.code
+        # Wildcards under negation surface from rule safety as generic
+        # unsafe-rule violations; give them their own code so the engine's
+        # PlanningError has a matching static diagnostic.
+        if code == "unsafe-rule" and "wildcard in negated literal" in issue.message:
+            code = "wildcard-negation"
+        findings.append(
+            LintFinding(
+                source=source,
+                line=issue.line,
+                code=code,
+                severity=ERROR if code in _ERROR_CODES else WARNING,
+                message=issue.message,
+            )
         )
-        for issue in program.issues
-    ]
     findings.extend(_check_rules(program.rules, program, source))
     findings.sort(key=lambda finding: (finding.line, finding.code))
     return findings

@@ -125,11 +125,21 @@ class Rule:
                 )
         for item in self.body:
             if isinstance(item, Literal) and item.negated:
-                for negated_var in item.atom.variables():
-                    if negated_var not in positive:
+                for negated_arg in item.atom.args:
+                    if not isinstance(negated_arg, Variable):
+                        continue
+                    if negated_arg.is_wildcard:
+                        # A wildcard under negation is ambiguous ("no fact
+                        # with any value here"?) and unexecutable by the
+                        # membership-probe semantics — reject it outright.
+                        violations.append(
+                            "wildcard in negated literal %r of %r"
+                            % (item, self)
+                        )
+                    elif negated_arg not in positive:
                         violations.append(
                             "negated variable %r not bound in %r"
-                            % (negated_var, self)
+                            % (negated_arg, self)
                         )
         return violations
 
