@@ -2,18 +2,22 @@
 Composite Vulnerabilities" (Brent, Grech, Lagouvardos, Scholz, Smaragdakis;
 PLDI 2020).
 
-Top-level convenience re-exports; see DESIGN.md for the system inventory.
+:mod:`repro.api` is the supported public surface; see DESIGN.md for the
+system inventory.
 
 Quickstart::
 
-    from repro import compile_source, analyze_bytecode
+    from repro import api, compile_source
 
     contract = compile_source(source_text)
-    result = analyze_bytecode(contract.runtime)
+    result = api.analyze(contract.runtime)
     for warning in result.warnings:
         print(warning.kind, warning.detail)
+
+    summary = api.sweep(bytecodes, jobs=8, journal="sweep.jsonl")
 """
 
+from repro import api
 from repro.core import (
     AnalysisConfig,
     AnalysisResult,
@@ -23,9 +27,10 @@ from repro.core import (
 )
 from repro.minisol import compile_source
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "analyze_bytecode",
     "compile_source",
     "EthainterAnalysis",

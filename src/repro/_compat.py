@@ -1,0 +1,33 @@
+"""Deprecation plumbing for the legacy deep-import entry points.
+
+``repro.api`` is the single supported entry surface; the historical deep
+imports (``repro.core.analysis.analyze_bytecode``,
+``repro.core.batch.analyze_many``, ...) keep working as thin shims that
+emit a :class:`DeprecationWarning` *once per process per entry point* —
+loud enough to steer callers, quiet enough that a million-contract sweep
+does not drown in warnings.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_WARNED: Set[str] = set()
+
+
+def warn_deprecated_entry(old: str, new: str) -> None:
+    """Warn (once per process) that ``old`` should be replaced by ``new``."""
+    if old in _WARNED:
+        return
+    _WARNED.add(old)
+    warnings.warn(
+        "%s is deprecated; use %s instead (see repro.api)" % (old, new),
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def reset_deprecation_registry() -> None:
+    """Forget which entry points already warned (test isolation hook)."""
+    _WARNED.clear()

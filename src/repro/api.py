@@ -1,0 +1,167 @@
+"""The supported public surface of the Ethainter reproduction.
+
+Everything downstream tooling needs lives here; deeper imports
+(``repro.core.analysis.analyze_bytecode``, ``repro.core.batch.
+analyze_many``) still work but are deprecated shims.  Three call shapes:
+
+* :func:`analyze` — one contract, one configuration;
+* :func:`sweep` — a corpus under one configuration, optionally parallel on
+  the supervised orchestrator (watchdog, crash isolation, retries,
+  checkpoint journal — see :mod:`repro.core.orchestrator`);
+* :func:`battery` — a corpus under several configurations at once (the
+  Fig. 8 ablation shape), sharing per-worker artifact caches.
+
+Quickstart::
+
+    from repro import api
+
+    result = api.analyze(runtime_bytecode)
+    for warning in result.warnings:
+        print(warning.kind, warning.detail)
+
+    summary = api.sweep(bytecodes, jobs=8, journal="sweep.jsonl")
+    # interrupted?  re-run with resume=True: completed contracts are
+    # skipped, the final report is identical.
+    summary = api.sweep(bytecodes, jobs=8, journal="sweep.jsonl", resume=True)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.analysis import (
+    AnalysisConfig,
+    AnalysisResult,
+    EthainterAnalysis,
+    Warning,
+)
+from repro.core.batch import BatchEntry, BatchSummary
+from repro.core.orchestrator import (
+    FaultPlan,
+    OrchestratorOptions,
+    OrchestratorStats,
+    run_sweep,
+)
+from repro.core.pipeline import ArtifactCache
+from repro.core.report import ContractReport, SweepReport
+from repro.core.vulnerabilities import VULNERABILITY_KINDS, Finding
+
+__all__ = [
+    "analyze",
+    "sweep",
+    "battery",
+    "AnalysisConfig",
+    "AnalysisResult",
+    "ArtifactCache",
+    "BatchEntry",
+    "BatchSummary",
+    "ContractReport",
+    "EthainterAnalysis",
+    "FaultPlan",
+    "Finding",
+    "OrchestratorOptions",
+    "OrchestratorStats",
+    "SweepReport",
+    "VULNERABILITY_KINDS",
+    "Warning",
+]
+
+
+def analyze(
+    bytecode: bytes,
+    config: Optional[AnalysisConfig] = None,
+    *,
+    cache: Optional[ArtifactCache] = None,
+) -> AnalysisResult:
+    """Analyze one contract's runtime bytecode."""
+    return EthainterAnalysis(config, cache=cache).analyze(bytecode)
+
+
+def _options(
+    executor: Optional[str],
+    mp_context: Optional[str],
+    max_retries: Optional[int],
+    journal: Optional[str],
+    resume: bool,
+    on_event: Optional[Callable[[Dict], None]],
+    options: Optional[OrchestratorOptions],
+) -> OrchestratorOptions:
+    """Fold the convenience keywords into a (copied) options object; a
+    keyword left at its default never overrides an explicit ``options``."""
+    import dataclasses
+
+    options = OrchestratorOptions() if options is None else dataclasses.replace(options)
+    if executor is not None:
+        options.executor = executor
+    if mp_context is not None:
+        options.mp_context = mp_context
+    if max_retries is not None:
+        options.max_retries = max_retries
+    if journal is not None:
+        options.journal_path = journal
+    options.resume = resume or options.resume
+    if on_event is not None:
+        options.on_event = on_event
+    return options
+
+
+def sweep(
+    bytecodes: Sequence[bytes],
+    config: Optional[AnalysisConfig] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    executor: Optional[str] = None,
+    mp_context: Optional[str] = None,
+    max_retries: Optional[int] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    on_event: Optional[Callable[[Dict], None]] = None,
+    options: Optional[OrchestratorOptions] = None,
+) -> BatchSummary:
+    """Analyze ``bytecodes`` under one configuration.
+
+    ``jobs > 1`` fans out over the supervised orchestrator (``executor=
+    "pool"`` selects the legacy process pool instead).  ``journal`` names a
+    JSONL checkpoint file; with ``resume=True`` contracts already recorded
+    there (same bytecode digest and config fingerprint) are skipped and
+    their journaled entries reused verbatim.  Entries come back ordered by
+    input index regardless of completion order; a shared ``cache`` is
+    honored in-process, while workers build per-process caches (caches do
+    not cross process boundaries).
+    """
+    config = config or AnalysisConfig()
+    resolved = _options(
+        executor, mp_context, max_retries, journal, resume, on_event, options
+    )
+    return run_sweep(bytecodes, (config,), jobs=jobs, cache=cache, options=resolved)[0]
+
+
+def battery(
+    bytecodes: Sequence[bytes],
+    configs: Sequence[AnalysisConfig],
+    *,
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    executor: Optional[str] = None,
+    mp_context: Optional[str] = None,
+    max_retries: Optional[int] = None,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    on_event: Optional[Callable[[Dict], None]] = None,
+    options: Optional[OrchestratorOptions] = None,
+) -> List[BatchSummary]:
+    """Analyze ``bytecodes`` under every configuration in ``configs``.
+
+    Returns one :class:`BatchSummary` per configuration, index-aligned
+    with ``configs``.  All configurations of one contract run in the same
+    worker against a shared :class:`ArtifactCache`, so stages whose
+    configuration fingerprints agree (the lift/facts/storage/guards prefix
+    for the Fig. 8 ablations) are computed once per contract.
+    """
+    if not configs:
+        raise ValueError("battery needs at least one configuration")
+    resolved = _options(
+        executor, mp_context, max_retries, journal, resume, on_event, options
+    )
+    return run_sweep(bytecodes, configs, jobs=jobs, cache=cache, options=resolved)

@@ -20,9 +20,10 @@ import json
 import sys
 from pathlib import Path
 
+from repro import api
 from repro.baselines import SecurifyAnalysis, TeEtherAnalysis
 from repro.chain import Blockchain
-from repro.core import AnalysisConfig, analyze_bytecode
+from repro.core import AnalysisConfig
 from repro.corpus import generate_corpus
 from repro.decompiler import lift
 from repro.evm.disassembler import format_disassembly
@@ -86,6 +87,15 @@ def _print_precision(precision: dict, stream=None) -> None:
         print("  %-28s %d" % (key, value), file=stream)
 
 
+def _print_orchestrator(stats: dict, stream=None) -> None:
+    """Sweep-executor health counters (the ``--profile`` section for the
+    orchestrator: crashes, watchdog kills, retries, recycles, resumed)."""
+    stream = stream if stream is not None else sys.stdout
+    print("orchestrator:", file=stream)
+    for key, value in stats.items():
+        print("  %-28s %s" % (key, value), file=stream)
+
+
 def _print_datalog_stats(stats: dict, stream=None) -> None:
     """Datalog engine counters (the ``--profile`` section for the datalog
     engines): flat join/index/iteration counters plus per-rule derivation
@@ -110,14 +120,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         model_storage_taint=not args.no_storage,
         conservative_storage=args.conservative_storage,
         value_analysis=args.value_analysis,
-        timeout_seconds=args.timeout,
+        timeout_seconds=args.deadline,
         engine=args.engine,
     )
-    result = analyze_bytecode(runtime, config)
+    result = api.analyze(runtime, config)
     if args.profile:
-        # With --json, stdout must stay machine-parseable; the human
-        # breakdown goes to stderr (stage_seconds is in the JSON anyway).
-        stream = sys.stderr if args.json else sys.stdout
+        # With --json on stdout, stdout must stay machine-parseable; the
+        # human breakdown goes to stderr (stage_seconds is in the JSON).
+        stream = sys.stderr if args.json == "-" else sys.stdout
         _print_stage_profile(
             result.stage_seconds(), result.cache_hits, result.cache_misses,
             stream=stream,
@@ -130,11 +140,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.json:
         from repro.core.report import ContractReport
 
-        print(
-            ContractReport.from_result(
-                result, name=args.contract or "", bytecode_size=len(runtime)
-            ).to_json()
-        )
+        text = ContractReport.from_result(
+            result, name=args.contract or "", bytecode_size=len(runtime)
+        ).to_json()
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text)
+            print("report written to %s" % args.json)
         return 1 if result.warnings else 0
     if result.error:
         print("analysis error: %s" % result.error)
@@ -253,47 +266,88 @@ def cmd_abi(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    """``repro sweep``: corpus-wide statistics (and optional JSON)."""
-    from pathlib import Path as _Path
+    """``repro sweep``: corpus-wide statistics (and optional JSON).
 
+    ``--jobs N`` fans the corpus out over the supervised orchestrator
+    (crash isolation, watchdog, retries); ``--resume JOURNAL`` checkpoints
+    completed contracts to a JSONL journal and, when the journal already
+    exists, skips them — an interrupted sweep restarted with the same
+    journal re-analyzes only the unfinished remainder.
+    """
     from repro.core.report import ContractReport, SweepReport
 
-    from repro.core.pipeline import ArtifactCache
-
     corpus = generate_corpus(args.size, seed=args.seed)
-    cache = ArtifactCache(max_entries=max(4096, 8 * len(corpus)))
     config = AnalysisConfig(
-        value_analysis=args.value_analysis, engine=args.engine
+        value_analysis=args.value_analysis,
+        engine=args.engine,
+        timeout_seconds=args.deadline,
+    )
+    summary = api.sweep(
+        [contract.runtime for contract in corpus],
+        config,
+        jobs=args.jobs,
+        executor=args.executor,
+        mp_context=args.mp_context,
+        max_retries=args.max_retries,
+        journal=args.resume,
+        resume=bool(args.resume),
     )
     sweep = SweepReport()
-    for contract in corpus:
-        result = analyze_bytecode(contract.runtime, config, cache=cache)
+    for contract, entry in zip(corpus, summary.entries):
         sweep.add(
-            ContractReport.from_result(
-                result, name=contract.name, bytecode_size=len(contract.runtime)
+            ContractReport.from_entry(
+                entry, name=contract.name, bytecode_size=len(contract.runtime)
             )
         )
-    summary = sweep.summary()
+    sweep.orchestrator = dict(summary.orchestrator)
+
+    # With --json on stdout the human summary moves to stderr so stdout
+    # stays machine-parseable.
+    out = sys.stderr if args.json == "-" else sys.stdout
+    stats = sweep.summary()
     print("analyzed %d contracts (%d flagged, %d errors)" % (
-        summary["analyzed"], summary["flagged"], summary["errors"]))
+        stats["analyzed"], stats["flagged"], stats["errors"]), file=out)
     print("flag rate: %.2f%%  avg time: %.1f ms" % (
-        100 * summary["flag_rate"], 1000 * summary["avg_elapsed_seconds"]))
-    for kind, count in summary["kind_counts"].items():
-        print("  %-32s %d" % (kind, count))
+        100 * stats["flag_rate"], 1000 * stats["avg_elapsed_seconds"]), file=out)
+    for kind, count in stats["kind_counts"].items():
+        print("  %-32s %d" % (kind, count), file=out)
+    if summary.degraded:
+        print(
+            "degraded to in-process execution: %s" % summary.degraded_reason,
+            file=out,
+        )
+    if stats["error_kind_counts"]:
+        print(
+            "error kinds: %s"
+            % ", ".join(
+                "%s=%d" % (kind, count)
+                for kind, count in sorted(stats["error_kind_counts"].items())
+            ),
+            file=out,
+        )
     if args.profile:
         _print_stage_profile(
-            summary["stage_seconds"],
-            summary["cache"]["hits"],
-            summary["cache"]["misses"],
+            stats["stage_seconds"],
+            stats["cache"]["hits"],
+            stats["cache"]["misses"],
+            stream=out,
         )
-        if summary["deadline_exceeded"]:
-            print("  deadline exceeded on %d contract(s)" % summary["deadline_exceeded"])
-        _print_precision(summary["precision"])
-        if summary.get("datalog"):
-            _print_datalog_stats(summary["datalog"])
-    if args.json:
-        _Path(args.json).write_text(sweep.to_json())
-        print("full report written to %s" % args.json)
+        if stats["deadline_exceeded"]:
+            print(
+                "  deadline exceeded on %d contract(s)"
+                % stats["deadline_exceeded"],
+                file=out,
+            )
+        _print_precision(stats["precision"], stream=out)
+        if stats.get("datalog"):
+            _print_datalog_stats(stats["datalog"], stream=out)
+        if stats.get("orchestrator"):
+            _print_orchestrator(stats["orchestrator"], stream=out)
+    if args.json == "-":
+        print(sweep.to_json())
+    elif args.json:
+        Path(args.json).write_text(sweep.to_json())
+        print("full report written to %s" % args.json, file=out)
     return 0
 
 
@@ -312,7 +366,7 @@ def cmd_kill(args: argparse.Namespace) -> int:
         return 2
     address = receipt.contract_address
     print("deployed %s at 0x%040x with %d wei" % (compiled.name, address, args.value))
-    result = analyze_bytecode(compiled.runtime)
+    result = api.analyze(compiled.runtime)
     print("ethainter warnings: %s" % sorted({w.kind for w in result.warnings}))
     killer = EthainterKill(chain)
     outcome = killer.attack(address, result)
@@ -381,6 +435,58 @@ def cmd_lint_rules(args: argparse.Namespace) -> int:
     return 1 if has_errors(findings) else 0
 
 
+def _analysis_parent() -> argparse.ArgumentParser:
+    """Flags shared (with identical spellings) by ``analyze`` and ``sweep``.
+
+    Both commands configure the same :class:`AnalysisConfig`, so they
+    accept the same knobs: ``--engine``, ``--value-analysis``,
+    ``--deadline``, ``--profile`` and ``--json``.  ``--json`` with no
+    argument writes the report to stdout (human output moves to stderr);
+    with a path it writes the report file.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--engine",
+        choices=["python", "datalog", "datalog-legacy"],
+        default="python",
+        help="fixpoint engine (datalog = the declarative rules on compiled "
+        "join plans; datalog-legacy = the uncompiled interpreter baseline)",
+    )
+    parent.add_argument(
+        "--value-analysis",
+        action="store_true",
+        help="enable the value-set stratum (resolves computed storage indices)",
+    )
+    parent.add_argument(
+        "--deadline",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="per-contract wall-clock budget (paper §6 cutoff; default 120)",
+    )
+    # Historical spelling of --deadline; kept working but hidden.
+    parent.add_argument(
+        "--timeout",
+        type=float,
+        dest="deadline",
+        default=argparse.SUPPRESS,
+        help=argparse.SUPPRESS,
+    )
+    parent.add_argument(
+        "--profile",
+        action="store_true",
+        help="print wall-clock, cache, and precision breakdowns",
+    )
+    parent.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="emit the JSON report: to FILE, or to stdout when no FILE given",
+    )
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -388,8 +494,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Ethainter reproduction: composite smart-contract vulnerability analysis",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+    analysis_parent = _analysis_parent()
 
-    analyze = commands.add_parser("analyze", help="run the Ethainter analysis")
+    analyze = commands.add_parser(
+        "analyze", help="run the Ethainter analysis", parents=[analysis_parent]
+    )
     _add_input_args(analyze)
     analyze.add_argument("--no-guards", action="store_true", help="Fig. 8b ablation")
     analyze.add_argument("--no-storage", action="store_true", help="Fig. 8a ablation")
@@ -397,31 +506,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--conservative-storage", action="store_true", help="Fig. 8c ablation"
     )
     analyze.add_argument(
-        "--value-analysis",
-        action="store_true",
-        help="enable the value-set stratum (resolves computed storage indices)",
-    )
-    analyze.add_argument("--timeout", type=float, default=120.0)
-    analyze.add_argument(
-        "--engine",
-        choices=["python", "datalog", "datalog-legacy"],
-        default="python",
-        help="fixpoint engine (datalog = the declarative rules on compiled "
-        "join plans; datalog-legacy = the uncompiled interpreter baseline)",
-    )
-    analyze.add_argument(
         "--compare", action="store_true", help="also run Securify/teEther baselines"
     )
-    analyze.add_argument("--json", action="store_true", help="emit a JSON report")
     analyze.add_argument(
         "--explain",
         action="store_true",
         help="print Datalog derivation trees for each warning",
-    )
-    analyze.add_argument(
-        "--profile",
-        action="store_true",
-        help="print per-stage wall-clock times and cache counters",
     )
     analyze.set_defaults(func=cmd_analyze)
 
@@ -431,26 +521,41 @@ def build_parser() -> argparse.ArgumentParser:
     abi.set_defaults(func=cmd_abi)
 
     sweep = commands.add_parser(
-        "sweep", help="analyze a generated corpus and print/emit statistics"
+        "sweep",
+        help="analyze a generated corpus and print/emit statistics",
+        parents=[analysis_parent],
     )
     sweep.add_argument("--size", type=int, default=100)
     sweep.add_argument("--seed", type=int, default=2020)
-    sweep.add_argument("--json", help="write the full JSON report to this file")
     sweep.add_argument(
-        "--profile",
-        action="store_true",
-        help="print the aggregate per-stage wall-clock breakdown",
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (>1 runs the supervised orchestrator)",
     )
     sweep.add_argument(
-        "--value-analysis",
-        action="store_true",
-        help="enable the value-set stratum for every contract in the sweep",
+        "--resume",
+        metavar="JOURNAL",
+        help="JSONL checkpoint journal: completed contracts are recorded "
+        "there and skipped when the sweep is re-run after an interruption",
     )
     sweep.add_argument(
-        "--engine",
-        choices=["python", "datalog", "datalog-legacy"],
-        default="python",
-        help="fixpoint engine for every contract in the sweep",
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per contract for transient worker failures",
+    )
+    sweep.add_argument(
+        "--mp-context",
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method (default: fork where available)",
+    )
+    sweep.add_argument(
+        "--executor",
+        choices=["auto", "orchestrator", "pool", "serial"],
+        default="auto",
+        help="sweep executor: the supervised orchestrator, the legacy "
+        "process pool, or in-process serial (auto picks by --jobs)",
     )
     sweep.set_defaults(func=cmd_sweep)
 

@@ -263,5 +263,15 @@ def analyze_bytecode(
     config: Optional[AnalysisConfig] = None,
     cache: Optional[ArtifactCache] = None,
 ) -> AnalysisResult:
-    """One-shot convenience wrapper around :class:`EthainterAnalysis`."""
+    """Deprecated deep-import shim for :func:`repro.api.analyze`.
+
+    Kept so historical callers (and the test suite) continue to work; it
+    warns once per process and delegates to :class:`EthainterAnalysis`,
+    which — like :mod:`repro.api` — is the supported surface.
+    """
+    from repro._compat import warn_deprecated_entry
+
+    warn_deprecated_entry(
+        "repro.core.analysis.analyze_bytecode", "repro.api.analyze"
+    )
     return EthainterAnalysis(config, cache=cache).analyze(runtime_bytecode)

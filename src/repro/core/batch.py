@@ -1,23 +1,22 @@
-"""Parallel batch analysis.
+"""Batch analysis data model and the legacy process-pool executor.
 
 The paper analyzes the whole chain with "45 concurrent analysis processes"
-(§6); this module is the equivalent driver: it fans contract bytecodes out
-over a process pool (falling back to in-process execution for ``jobs=1`` or
-when a pool cannot be created — recorded as a *degraded* run, never
-silently) and collects per-contract summaries as they complete
-(``imap_unordered``), so one slow contract does not delay collection of the
-rest.
+(§6).  The *supervised* driver for that workload lives in
+:mod:`repro.core.orchestrator` (watchdog, crash isolation, retries, worker
+recycling, checkpoint journal); this module keeps:
+
+* the wire/data model — :class:`BatchEntry` / :class:`BatchSummary` — shared
+  by every executor,
+* the legacy ``multiprocessing.Pool`` executor (``executor="pool"``), kept
+  as the overhead baseline for the orchestrator benchmarks,
+* the deprecated deep-import entry points :func:`analyze_many` /
+  :func:`analyze_battery`, now thin shims over :mod:`repro.api`.
 
 Worker processes return compact :class:`BatchEntry` summaries rather than
 full :class:`~repro.core.analysis.AnalysisResult` objects — the heavyweight
-artifacts (TAC program, taint sets) do not pickle cheaply and batch users
-only need the verdicts plus the per-stage timing profile.
-
-:func:`analyze_battery` runs *several configurations* (e.g. the Fig. 8
-four-config ablation battery) over one corpus, sharing a per-worker
-:class:`~repro.core.pipeline.ArtifactCache` so the configuration-independent
-lift/facts/storage/guards prefix is computed once per contract instead of
-once per (contract, configuration).
+artifacts (TAC program, taint sets) do not pickle cheaply; entries carry
+just the verdicts (kinds plus warning records), the per-stage timing
+profile, and scalar counters.
 """
 
 from __future__ import annotations
@@ -26,14 +25,19 @@ import multiprocessing
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.analysis import AnalysisConfig, AnalysisResult, analyze_bytecode
+from repro.core.analysis import AnalysisConfig, AnalysisResult, EthainterAnalysis
 from repro.core.pipeline import ArtifactCache
-from repro.core.vulnerabilities import VULNERABILITY_KINDS
 
 
 @dataclass
 class BatchEntry:
-    """Per-contract summary from a batch run."""
+    """Per-contract summary from a batch run.
+
+    ``error`` carries a taxonomy prefix before the first ``:`` —
+    ``timeout`` and ``lift-error`` come from the analysis itself;
+    ``worker_crashed``, ``watchdog_killed`` and ``task_failed`` come from
+    the orchestrator (see :attr:`error_kind`).
+    """
 
     index: int
     kinds: Tuple[str, ...]
@@ -48,10 +52,24 @@ class BatchEntry:
     # ...) when a datalog engine ran the taint stage — kept scalar-only so
     # entries stay cheap to pickle back from pool workers.
     datalog: Dict[str, int] = field(default_factory=dict)
+    block_count: int = 0
+    # Full warning records ({kind, pc, statement, slot, detail}) so sweep
+    # reports built from batch entries match single-contract reports.
+    warnings: List[Dict] = field(default_factory=list)
+    precision: Dict[str, int] = field(default_factory=dict)
+    # How many dispatch attempts this task took (orchestrator retries).
+    attempts: int = 1
 
     @property
     def flagged(self) -> bool:
         return bool(self.kinds)
+
+    @property
+    def error_kind(self) -> Optional[str]:
+        """The error taxonomy bucket: the prefix before the first ``:``."""
+        if not self.error:
+            return None
+        return self.error.split(":", 1)[0].strip()
 
 
 @dataclass
@@ -61,6 +79,10 @@ class BatchSummary:
     # to in-process execution (previously this degradation was silent).
     degraded: bool = False
     degraded_reason: str = ""
+    # Orchestrator counters (crashes, watchdog_kills, retries, recycles,
+    # resumed, ...) for the executor that produced this summary; empty for
+    # the legacy pool path.  See OrchestratorStats.as_dict().
+    orchestrator: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -88,9 +110,20 @@ class BatchSummary:
         return sum(entry.cache_misses for entry in self.entries)
 
     def kind_counts(self) -> Dict[str, int]:
+        from repro.core.vulnerabilities import VULNERABILITY_KINDS
+
         counts = {kind: 0 for kind in VULNERABILITY_KINDS}
         for entry in self.entries:
             for kind in entry.kinds:
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def error_kind_counts(self) -> Dict[str, int]:
+        """Errored entries bucketed by taxonomy prefix."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            kind = entry.error_kind
+            if kind:
                 counts[kind] = counts.get(kind, 0) + 1
         return counts
 
@@ -134,14 +167,28 @@ def _entry_from_result(index: int, result: AnalysisResult) -> BatchEntry:
             for name, value in stats.items()
             if isinstance(value, int)
         },
+        block_count=result.block_count,
+        warnings=[
+            {
+                "kind": warning.kind,
+                "pc": warning.pc,
+                "statement": warning.statement,
+                "slot": warning.slot,
+                "detail": warning.detail,
+            }
+            for warning in result.warnings
+        ],
+        precision=result.precision.as_dict(),
     )
 
 
 # Module-level worker state, initialized per process (configs are small and
 # picklable; passing them once via the initializer avoids re-pickling per
-# task).  The cache lives per worker process: it cannot be shared across
-# processes, but within one worker it de-duplicates repeated bytecodes and,
-# for battery runs, shares the ablation-independent prefix across configs.
+# task — and keeps the initializer spawn-safe: no state crosses process
+# boundaries except these explicit, picklable arguments).  The cache lives
+# per worker process: it cannot be shared across processes, but within one
+# worker it de-duplicates repeated bytecodes and, for battery runs, shares
+# the ablation-independent prefix across configs.
 _WORKER_CONFIGS: Tuple[AnalysisConfig, ...] = ()
 _WORKER_CACHE: Optional[ArtifactCache] = None
 
@@ -154,10 +201,15 @@ def _init_worker(
     _WORKER_CACHE = ArtifactCache(cache_entries) if cache_entries > 0 else None
 
 
-def _analyze_one(task: Tuple[int, bytes]) -> BatchEntry:
+def _analyze_one(task: Tuple[int, bytes]) -> Tuple[BatchEntry, ...]:
     index, runtime = task
-    result = analyze_bytecode(runtime, _WORKER_CONFIGS[0], cache=_WORKER_CACHE)
-    return _entry_from_result(index, result)
+    return tuple(
+        _entry_from_result(
+            index,
+            EthainterAnalysis(config, cache=_WORKER_CACHE).analyze(runtime),
+        )
+        for config in _WORKER_CONFIGS[:1]
+    )
 
 
 def _analyze_battery_one(task: Tuple[int, bytes]) -> Tuple[BatchEntry, ...]:
@@ -166,19 +218,22 @@ def _analyze_battery_one(task: Tuple[int, bytes]) -> Tuple[BatchEntry, ...]:
     index, runtime = task
     return tuple(
         _entry_from_result(
-            index, analyze_bytecode(runtime, config, cache=_WORKER_CACHE)
+            index,
+            EthainterAnalysis(config, cache=_WORKER_CACHE).analyze(runtime),
         )
         for config in _WORKER_CONFIGS
     )
 
 
-def _pool_run(tasks, worker, configs, jobs, cache_entries):
-    """Run ``worker`` over ``tasks`` on a process pool; returns
-    (results, degraded_reason)."""
-    try:
-        context = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        context = multiprocessing.get_context()
+def _pool_run(tasks, worker, configs, jobs, cache_entries, context=None):
+    """Run ``worker`` over ``tasks`` on a legacy process pool; returns
+    (rows, degraded_reason).  ``context`` is a resolved multiprocessing
+    context (see :func:`repro.core.orchestrator.resolve_mp_context`) —
+    no start method is hard-coded here anymore."""
+    if context is None:
+        from repro.core.orchestrator import resolve_mp_context
+
+        context = resolve_mp_context()
     chunksize = max(1, len(tasks) // (jobs * 4))
     try:
         with context.Pool(
@@ -200,36 +255,20 @@ def analyze_many(
     config: Optional[AnalysisConfig] = None,
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
+    **options,
 ) -> BatchSummary:
-    """Analyze ``bytecodes``; ``jobs > 1`` uses a process pool.
+    """Deprecated deep-import shim for :func:`repro.api.sweep`.
 
     Entries come back ordered by input index regardless of completion
-    order.  A shared ``cache`` is honored in-process; pool workers build
-    their own per-process caches instead (caches do not cross ``fork``).
+    order.  A shared ``cache`` is honored in-process; pool/orchestrator
+    workers build their own per-process caches instead (caches do not
+    cross process boundaries).
     """
-    config = config or AnalysisConfig()
-    tasks = list(enumerate(bytecodes))
-    summary = BatchSummary()
+    from repro._compat import warn_deprecated_entry
+    from repro import api
 
-    if jobs <= 1 or len(tasks) < 2:
-        local_cache = cache if cache is not None else ArtifactCache()
-        entries = [
-            _entry_from_result(
-                index, analyze_bytecode(runtime, config, cache=local_cache)
-            )
-            for index, runtime in tasks
-        ]
-        summary.entries = entries
-        return summary
-
-    entries, degraded_reason = _pool_run(
-        tasks, _analyze_one, (config,), jobs, cache_entries=256
-    )
-    if degraded_reason is not None:
-        summary.degraded = True
-        summary.degraded_reason = degraded_reason
-    summary.entries = sorted(entries, key=lambda entry: entry.index)
-    return summary
+    warn_deprecated_entry("repro.core.batch.analyze_many", "repro.api.sweep")
+    return api.sweep(bytecodes, config, jobs=jobs, cache=cache, **options)
 
 
 def analyze_battery(
@@ -237,8 +276,9 @@ def analyze_battery(
     configs: Sequence[AnalysisConfig],
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
+    **options,
 ) -> List[BatchSummary]:
-    """Analyze ``bytecodes`` under every configuration in ``configs``.
+    """Deprecated deep-import shim for :func:`repro.api.battery`.
 
     Returns one :class:`BatchSummary` per configuration, index-aligned with
     ``configs``.  All configurations of one contract run in the same worker
@@ -246,35 +286,8 @@ def analyze_battery(
     fingerprints agree (the lift/facts/storage/guards prefix for the Fig. 8
     ablations) are computed once per contract.
     """
-    if not configs:
-        raise ValueError("analyze_battery needs at least one configuration")
-    configs = tuple(configs)
-    tasks = list(enumerate(bytecodes))
-    summaries = [BatchSummary() for _ in configs]
+    from repro._compat import warn_deprecated_entry
+    from repro import api
 
-    if jobs <= 1 or len(tasks) < 2:
-        local_cache = cache if cache is not None else ArtifactCache(
-            max_entries=max(4096, 8 * len(tasks) * max(len(configs), 1))
-        )
-        rows = [
-            tuple(
-                _entry_from_result(
-                    index, analyze_bytecode(runtime, config, cache=local_cache)
-                )
-                for config in configs
-            )
-            for index, runtime in tasks
-        ]
-        degraded_reason = None
-    else:
-        rows, degraded_reason = _pool_run(
-            tasks, _analyze_battery_one, configs, jobs, cache_entries=256
-        )
-    for row in sorted(rows, key=lambda row: row[0].index):
-        for position, entry in enumerate(row):
-            summaries[position].entries.append(entry)
-    if degraded_reason is not None:
-        for summary in summaries:
-            summary.degraded = True
-            summary.degraded_reason = degraded_reason
-    return summaries
+    warn_deprecated_entry("repro.core.batch.analyze_battery", "repro.api.battery")
+    return api.battery(bytecodes, configs, jobs=jobs, cache=cache, **options)

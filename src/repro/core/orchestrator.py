@@ -1,0 +1,858 @@
+"""Supervised worker-pool sweep executor (the §6 harness, made survivable).
+
+The paper runs Ethainter over the whole chain with 45 concurrent analysis
+processes and a per-contract cutoff (§6).  At that scale the harness itself
+is part of the analysis: a lifter that wedges on one pathological contract,
+a worker the kernel OOM-kills, or an operator restart must each cost *one
+contract*, not the sweep.  This module owns ``multiprocessing.Process``
+workers directly (one private duplex pipe per worker — no shared queue
+locks a dying worker could leave held) and adds, over the bare
+``Pool.imap_unordered`` it replaces:
+
+* **watchdog** — a wall-clock backstop that SIGKILLs and respawns workers
+  stuck past ``deadline x grace_factor``, catching hangs the cooperative
+  :class:`~repro.core.pipeline.Deadline` checks cannot (native sleeps,
+  pathological allocation storms between check points);
+* **crash isolation** — a worker death (signal, OOM kill, ``os._exit``) is
+  recorded as a structured ``worker_crashed`` :class:`BatchEntry` error for
+  the one contract it held; the worker is respawned and the sweep continues;
+* **bounded retries** — a task whose worker *raised* (transient
+  infrastructure errors) is retried with exponential backoff up to
+  ``max_retries``; deterministic analysis errors (``timeout``,
+  ``lift-error``) come back inside successful entries and are never
+  retried;
+* **worker recycling** — workers exit cleanly after ``recycle_after`` tasks
+  (the ``maxtasksperchild`` analog) to bound allocator/cache growth on
+  blockchain-scale corpora;
+* **checkpoint journal** — completed entries append to a JSONL journal
+  keyed by ``sha256(bytecode) + config fingerprint`` (the same identity as
+  :class:`~repro.core.pipeline.ArtifactCache`); ``repro sweep --resume
+  <journal>`` skips completed contracts after an interruption.  Harness
+  faults (crash/watchdog/task_failed entries) are deliberately *not*
+  journaled, so a resumed run retries them;
+* **progress events** — heartbeat / task_done / retry / worker_crashed /
+  watchdog_kill / recycle / resumed events via ``on_event``, with the
+  counters rolled into :class:`BatchSummary.orchestrator`, sweep JSON
+  reports, and ``--profile`` output.
+
+:func:`run_sweep` is the single entry point; ``executor="pool"`` keeps the
+legacy :func:`repro.core.batch._pool_run` path as the overhead baseline,
+and both executors degrade to in-process execution (recorded, never
+silent) when worker processes cannot be spawned.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from multiprocessing import connection as mp_connection
+from collections import deque
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.analysis import AnalysisConfig, EthainterAnalysis
+from repro.core.batch import (
+    BatchEntry,
+    BatchSummary,
+    _analyze_battery_one,
+    _analyze_one,
+    _entry_from_result,
+    _pool_run,
+)
+from repro.core.pipeline import ArtifactCache, analysis_fingerprint, bytecode_digest
+
+JOURNAL_VERSION = 1
+
+
+class TransientTaskError(Exception):
+    """Raise inside a worker to mark a task failure as retriable."""
+
+
+def resolve_mp_context(name: Optional[str] = None):
+    """Resolve a multiprocessing context.
+
+    With ``name`` (``"fork"``/``"spawn"``/``"forkserver"``) the named start
+    method is used and unsupported names raise ``ValueError`` to the
+    caller.  Without it, ``fork`` is preferred where available (cheapest on
+    POSIX) with a fallback to the platform default — the old hard-coded
+    ``get_context("fork")`` preference, made survivable on non-fork
+    platforms.
+    """
+    if name:
+        return multiprocessing.get_context(name)
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+# ------------------------------------------------------------------ options
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Test-only fault injection, honored inside worker processes.
+
+    ``crash_indices`` hard-exit the worker (``os._exit``), ``hang_indices``
+    sleep past any watchdog, and ``transient_failures`` maps a task index
+    to how many attempts fail with :class:`TransientTaskError` before the
+    task succeeds.  Ignored entirely by in-process (serial) execution —
+    injecting a crash into the supervisor would defeat the point.
+    """
+
+    crash_indices: Tuple[int, ...] = ()
+    crash_exit_code: int = 13
+    hang_indices: Tuple[int, ...] = ()
+    hang_seconds: float = 3600.0
+    transient_failures: Mapping[int, int] = field(default_factory=dict)
+
+    def apply(self, index: int, attempt: int) -> None:
+        if index in self.crash_indices:
+            os._exit(self.crash_exit_code)
+        if index in self.hang_indices:
+            time.sleep(self.hang_seconds)
+        failures = self.transient_failures.get(index, 0)
+        if attempt < failures:
+            raise TransientTaskError(
+                "injected transient failure %d/%d on contract %d"
+                % (attempt + 1, failures, index)
+            )
+
+
+@dataclass
+class OrchestratorOptions:
+    """Knobs for :func:`run_sweep` (shared by every executor).
+
+    ``executor="auto"`` picks the supervised orchestrator for parallel
+    runs and in-process execution otherwise; ``"pool"`` is the legacy
+    ``multiprocessing.Pool`` baseline (no watchdog/journal/retries).
+    ``watchdog_seconds`` overrides the default budget-derived timeout of
+    ``timeout_seconds * grace_factor``.
+    """
+
+    executor: str = "auto"  # "auto" | "orchestrator" | "pool" | "serial"
+    mp_context: Optional[str] = None  # "fork" | "spawn" | "forkserver"
+    max_retries: int = 2
+    backoff_seconds: float = 0.05
+    grace_factor: float = 4.0
+    watchdog_seconds: Optional[float] = None
+    recycle_after: Optional[int] = 64
+    heartbeat_seconds: float = 5.0
+    cache_entries: int = 256
+    journal_path: Optional[str] = None
+    resume: bool = False
+    on_event: Optional[Callable[[Dict], None]] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def effective_watchdog(self, config: AnalysisConfig) -> Optional[float]:
+        if self.watchdog_seconds is not None:
+            return self.watchdog_seconds
+        if config.timeout_seconds is None:
+            return None
+        return config.timeout_seconds * self.grace_factor
+
+
+@dataclass
+class OrchestratorStats:
+    """Sweep-level health counters, surfaced on every summary/report."""
+
+    mode: str = "orchestrator"  # "orchestrator" | "pool" | "serial"
+    workers: int = 0
+    dispatched: int = 0  # tasks sent to workers, retries included
+    completed: int = 0  # tasks that produced a result row
+    retries: int = 0
+    crashes: int = 0
+    watchdog_kills: int = 0
+    recycles: int = 0
+    resumed: int = 0  # tasks resolved from the checkpoint journal
+    heartbeats: int = 0
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["elapsed_seconds"] = round(self.elapsed_seconds, 6)
+        return payload
+
+
+# ------------------------------------------------------------------ journal
+
+
+def sweep_fingerprint(configs: Sequence[AnalysisConfig]) -> str:
+    """Identity of a sweep configuration: every config field, budgets
+    included (a journaled ``timeout`` entry is only valid under the same
+    budget), over every battery configuration in order."""
+    return "+".join(analysis_fingerprint(config) for config in configs)
+
+
+def journal_key(runtime_bytecode: bytes, fingerprint: str) -> str:
+    """Journal row identity: bytecode digest plus the sweep fingerprint
+    (journaled entries are only reusable under the exact configuration
+    that produced them)."""
+    return "%s:%s" % (bytecode_digest(runtime_bytecode), fingerprint)
+
+
+def _entry_to_dict(entry: BatchEntry) -> Dict:
+    return asdict(entry)
+
+
+def _entry_from_dict(data: Dict, index: Optional[int] = None) -> BatchEntry:
+    known = {f.name for f in dataclass_fields(BatchEntry)}
+    payload = {name: value for name, value in data.items() if name in known}
+    payload["kinds"] = tuple(payload.get("kinds") or ())
+    if index is not None:
+        payload["index"] = index
+    return BatchEntry(**payload)
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of completed sweep rows.
+
+    Line 1 is a header record carrying the sweep's configuration
+    fingerprint; each subsequent line is ``{"key": ..., "index": ...,
+    "entries": [...]}``.  Loading tolerates a truncated final line (the
+    sweep was killed mid-write) by stopping at the first undecodable
+    record, and discards the whole journal when the header fingerprint
+    does not match the resuming sweep's configuration.
+    """
+
+    def __init__(self, path: str, fingerprint: str, resume: bool = False):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.completed: Dict[str, List[Dict]] = {}
+        if resume and os.path.exists(path):
+            self.completed = self._load(path, fingerprint)
+            self._handle = open(path, "a")
+        else:
+            self._handle = open(path, "w")
+            self._write(
+                {
+                    "journal": "repro-sweep",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    @staticmethod
+    def _load(path: str, fingerprint: str) -> Dict[str, List[Dict]]:
+        completed: Dict[str, List[Dict]] = {}
+        with open(path) as handle:
+            for line in handle:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # killed mid-write; everything before is valid
+                if "journal" in record:
+                    if (
+                        record.get("fingerprint") != fingerprint
+                        or record.get("version") != JOURNAL_VERSION
+                    ):
+                        return {}  # different sweep configuration: start over
+                    continue
+                key = record.get("key")
+                entries = record.get("entries")
+                if key and entries and key.endswith(fingerprint):
+                    completed[key] = entries
+        return completed
+
+    def _write(self, record: Dict) -> None:
+        # No sort_keys: entry dict ordering (stage order, precision counter
+        # order) must survive the round-trip so a resumed sweep's report is
+        # byte-identical to the uninterrupted one.
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+
+    def lookup(self, key: str) -> Optional[List[Dict]]:
+        return self.completed.get(key)
+
+    def record(self, key: str, index: int, row: Sequence[BatchEntry]) -> None:
+        if key in self.completed:
+            return
+        entries = [_entry_to_dict(entry) for entry in row]
+        self.completed[key] = entries
+        self._write({"key": key, "index": index, "entries": entries})
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+# ------------------------------------------------------------------- worker
+
+
+def _worker_main(
+    worker_id: int,
+    conn,
+    configs: Tuple[AnalysisConfig, ...],
+    cache_entries: int,
+    recycle_after: Optional[int],
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """Worker loop: one task in flight, on a private duplex pipe.
+
+    Each worker owns its own :func:`multiprocessing.Pipe` rather than
+    sharing a ``Queue``: shared queues serialize writers through a shared
+    lock held by a feeder *thread*, and a worker hard-exiting inside that
+    window (``os._exit``, SIGKILL, OOM) leaves the lock held forever,
+    wedging every other worker — the supervisor must survive exactly those
+    deaths.  A private pipe has a single writer per direction and no
+    cross-process lock, so a dying worker can only corrupt its own
+    channel, which the supervisor treats as the crash it is.
+
+    Spawn-safe by construction: a top-level function whose arguments are
+    all picklable; per-worker state (the artifact cache) is built here,
+    never inherited.  Tasks are ``(index, bytecode, attempt)``; replies are
+    ``("done", wid, index, attempt, row)``, ``("fail", wid, index, attempt,
+    message)`` or ``("recycle", wid)`` before a clean exit.
+    """
+    cache = ArtifactCache(cache_entries) if cache_entries > 0 else None
+    done = 0
+    while True:
+        message = conn.recv()
+        if message is None:
+            return
+        index, runtime, attempt = message
+        try:
+            if fault_plan is not None:
+                fault_plan.apply(index, attempt)
+            row = tuple(
+                _entry_from_result(
+                    index, EthainterAnalysis(config, cache=cache).analyze(runtime)
+                )
+                for config in configs
+            )
+            conn.send(("done", worker_id, index, attempt, row))
+        except Exception as error:  # reported; the supervisor decides retry
+            conn.send(
+                (
+                    "fail",
+                    worker_id,
+                    index,
+                    attempt,
+                    "%s: %s" % (type(error).__name__, error),
+                )
+            )
+        done += 1
+        if recycle_after is not None and done >= recycle_after:
+            conn.send(("recycle", worker_id))
+            return
+
+
+class _Worker:
+    """Supervisor-side view of one worker process."""
+
+    __slots__ = ("process", "conn", "current", "retiring")
+
+    def __init__(self, process, conn):
+        self.process = process
+        self.conn = conn
+        # (index, attempt, dispatched_at) for the in-flight task, if any.
+        self.current: Optional[Tuple[int, int, float]] = None
+        self.retiring = False
+
+
+class _PoolBroken(Exception):
+    """Worker processes cannot be (re)spawned; degrade to in-process."""
+
+
+# --------------------------------------------------------------- supervisor
+
+
+class Orchestrator:
+    """Supervises worker processes over one sweep's task list.
+
+    Single-threaded supervisor: each loop iteration reaps dead workers
+    (crash isolation), enforces the watchdog, dispatches ready tasks to
+    idle workers (one in flight per worker, dispatched the moment its
+    previous result drains — the blocking result-queue read wakes on
+    arrival, so dispatch latency is queue latency, not poll latency), and
+    emits heartbeats.  Workers carry unique ids for their whole lifetime,
+    so late messages from a replaced worker can never be mis-attributed to
+    its successor.
+    """
+
+    def __init__(
+        self,
+        configs: Tuple[AnalysisConfig, ...],
+        jobs: int,
+        options: OrchestratorOptions,
+        stats: OrchestratorStats,
+        journal: Optional[SweepJournal] = None,
+        keys: Optional[Dict[int, str]] = None,
+    ):
+        self.configs = configs
+        self.jobs = jobs
+        self.options = options
+        self.stats = stats
+        self.journal = journal
+        self.keys = keys or {}
+        self.context = resolve_mp_context(options.mp_context)
+        self.watchdog = options.effective_watchdog(configs[0])
+        self.rows: Dict[int, Tuple[BatchEntry, ...]] = {}
+        self.tasks_by_index: Dict[int, bytes] = {}
+        self.pending: "deque[Tuple[int, int, float]]" = deque()  # index, attempt, not_before
+        self.workers: Dict[int, _Worker] = {}
+        self.next_worker_id = 0
+
+    # -- events
+
+    def _emit(self, event: str, **data) -> None:
+        if self.options.on_event is not None:
+            payload = {"event": event}
+            payload.update(data)
+            self.options.on_event(payload)
+
+    # -- worker lifecycle
+
+    def _spawn_worker(self) -> None:
+        worker_id = self.next_worker_id
+        self.next_worker_id += 1
+        try:
+            parent_conn, child_conn = self.context.Pipe(duplex=True)
+            process = self.context.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    child_conn,
+                    self.configs,
+                    self.options.cache_entries,
+                    self.options.recycle_after,
+                    self.options.fault_plan,
+                ),
+                daemon=True,
+            )
+            process.start()
+        except (OSError, RuntimeError) as error:
+            raise _PoolBroken("%s: %s" % (type(error).__name__, error)) from error
+        # Close the supervisor's copy of the child end so a worker death
+        # surfaces as EOF on the parent end instead of a silent stall.
+        child_conn.close()
+        self.workers[worker_id] = _Worker(process, parent_conn)
+
+    # -- task resolution
+
+    def _requeue(self, index: int, attempt: int, delay: float = 0.0) -> None:
+        self.pending.append((index, attempt, time.monotonic() + delay))
+
+    def _record_row(
+        self, index: int, row: Tuple[BatchEntry, ...], journal: bool
+    ) -> None:
+        if index in self.rows:
+            # A worker that finished a task and then died before its result
+            # drained gets charged a crash first; the real row wins.
+            self.rows[index] = row
+        else:
+            self.rows[index] = row
+            self.stats.completed += 1
+        if journal and self.journal is not None and index in self.keys:
+            self.journal.record(self.keys[index], index, row)
+
+    def _fault_row(self, index: int, attempt: int, error: str, elapsed: float):
+        """One error entry per battery configuration for a harness fault.
+
+        Deliberately *not* journaled: crashes and hangs may be
+        environmental, so a resumed run gets a fresh attempt at these
+        contracts.
+        """
+        row = tuple(
+            BatchEntry(
+                index=index,
+                kinds=(),
+                error=error,
+                elapsed_seconds=elapsed,
+                statement_count=0,
+                attempts=attempt + 1,
+            )
+            for _ in self.configs
+        )
+        self._record_row(index, row, journal=False)
+
+    def _unresolved(self) -> int:
+        return len(self.tasks_by_index) - len(self.rows)
+
+    # -- supervision steps
+
+    def _reap(self) -> None:
+        for worker_id, worker in list(self.workers.items()):
+            if worker.process.exitcode is None:
+                continue
+            exitcode = worker.process.exitcode
+            worker.process.join()
+            worker.conn.close()
+            del self.workers[worker_id]
+            held = worker.current
+            if exitcode == 0:
+                # Clean exit (recycle, or a shutdown race): a task that was
+                # dispatched but never picked up is requeued, not charged.
+                if held is not None:
+                    self._requeue(held[0], held[1])
+            else:
+                self.stats.crashes += 1
+                if held is not None:
+                    index, attempt, started = held
+                    self._emit(
+                        "worker_crashed",
+                        index=index,
+                        exitcode=exitcode,
+                        attempt=attempt,
+                    )
+                    self._fault_row(
+                        index,
+                        attempt,
+                        "worker_crashed: worker exit code %s while analyzing "
+                        "contract %d" % (exitcode, index),
+                        time.monotonic() - started,
+                    )
+                else:
+                    self._emit("worker_crashed", index=None, exitcode=exitcode)
+            if self._unresolved() and len(self.workers) < self.jobs:
+                self._spawn_worker()
+
+    def _check_watchdog(self) -> None:
+        if self.watchdog is None:
+            return
+        now = time.monotonic()
+        for worker_id, worker in list(self.workers.items()):
+            if worker.current is None or worker.process.exitcode is not None:
+                continue
+            index, attempt, started = worker.current
+            if now - started <= self.watchdog:
+                continue
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+            worker.conn.close()
+            del self.workers[worker_id]
+            self.stats.watchdog_kills += 1
+            self._emit(
+                "watchdog_kill",
+                index=index,
+                attempt=attempt,
+                stuck_seconds=now - started,
+            )
+            self._fault_row(
+                index,
+                attempt,
+                "watchdog_killed: contract %d still running after %.3fs "
+                "(budget x grace = %.3fs)" % (index, now - started, self.watchdog),
+                now - started,
+            )
+            if self._unresolved() and len(self.workers) < self.jobs:
+                self._spawn_worker()
+
+    def _dispatch(self) -> None:
+        if not self.pending:
+            return
+        now = time.monotonic()
+        for worker in self.workers.values():
+            if not self.pending:
+                return
+            if (
+                worker.current is not None
+                or worker.retiring
+                or worker.process.exitcode is not None
+            ):
+                continue
+            # Honor retry backoff: scan the (small) queue for a ready task.
+            for _ in range(len(self.pending)):
+                index, attempt, not_before = self.pending[0]
+                if not_before <= now:
+                    self.pending.popleft()
+                    try:
+                        worker.conn.send(
+                            (index, self.tasks_by_index[index], attempt)
+                        )
+                    except (OSError, ValueError):
+                        # Worker died before taking the task: requeue it
+                        # uncharged; _reap collects the corpse.
+                        self._requeue(index, attempt)
+                        break
+                    worker.current = (index, attempt, time.monotonic())
+                    self.stats.dispatched += 1
+                    break
+                self.pending.rotate(-1)
+
+    def _handle_result(self, message) -> None:
+        kind = message[0]
+        if kind == "recycle":
+            _, worker_id = message
+            worker = self.workers.get(worker_id)
+            if worker is not None:
+                worker.retiring = True
+            self.stats.recycles += 1
+            self._emit("recycle", worker=worker_id)
+            return
+        _, worker_id, index, attempt, payload = message
+        worker = self.workers.get(worker_id)
+        if worker is not None and worker.current is not None:
+            if worker.current[0] == index:
+                worker.current = None
+        if kind == "done":
+            row = tuple(
+                _entry_with_attempts(entry, attempt + 1) for entry in payload
+            )
+            self._record_row(index, row, journal=True)
+            self._emit("task_done", index=index, attempt=attempt)
+        elif kind == "fail":
+            if index in self.rows:
+                return  # already resolved (e.g. watchdog raced the reply)
+            if attempt < self.options.max_retries:
+                self.stats.retries += 1
+                delay = self.options.backoff_seconds * (2 ** attempt)
+                self._requeue(index, attempt + 1, delay)
+                self._emit(
+                    "retry", index=index, attempt=attempt + 1, error=payload
+                )
+            else:
+                self._fault_row(
+                    index,
+                    attempt,
+                    "task_failed: %s (after %d attempt(s))"
+                    % (payload, attempt + 1),
+                    0.0,
+                )
+                self._emit("task_failed", index=index, error=payload)
+
+    # -- main loop
+
+    def run(
+        self, tasks: List[Tuple[int, bytes]]
+    ) -> Dict[int, Tuple[BatchEntry, ...]]:
+        self.tasks_by_index = dict(tasks)
+        for index, _runtime in tasks:
+            self._requeue(index, attempt=0)
+        try:
+            while len(self.workers) < min(self.jobs, len(tasks)):
+                self._spawn_worker()
+            self.stats.workers = len(self.workers)
+            started = time.monotonic()
+            last_heartbeat = started
+            while self._unresolved():
+                self._reap()
+                self._check_watchdog()
+                self._dispatch()
+                # Wake on any worker's reply *or* death (process sentinels),
+                # so dispatch latency and crash reaction are both bounded by
+                # pipe latency, not the poll interval.
+                waitables = [
+                    worker.conn for worker in self.workers.values()
+                ] + [
+                    worker.process.sentinel
+                    for worker in self.workers.values()
+                ]
+                for ready in mp_connection.wait(waitables, timeout=0.05):
+                    conn = ready if hasattr(ready, "recv") else None
+                    if conn is None:
+                        continue  # a sentinel fired; _reap handles it
+                    try:
+                        self._handle_result(conn.recv())
+                    except (EOFError, OSError):
+                        pass  # worker died mid-reply; _reap charges it
+                now = time.monotonic()
+                if now - last_heartbeat >= self.options.heartbeat_seconds:
+                    last_heartbeat = now
+                    self.stats.heartbeats += 1
+                    elapsed = now - started
+                    self._emit(
+                        "heartbeat",
+                        completed=self.stats.completed,
+                        total=len(self.tasks_by_index),
+                        in_flight=sum(
+                            1
+                            for worker in self.workers.values()
+                            if worker.current is not None
+                        ),
+                        retries=self.stats.retries,
+                        crashes=self.stats.crashes,
+                        watchdog_kills=self.stats.watchdog_kills,
+                        recycles=self.stats.recycles,
+                        elapsed_seconds=elapsed,
+                        throughput=(
+                            self.stats.completed / elapsed if elapsed > 0 else 0.0
+                        ),
+                    )
+        finally:
+            self._shutdown()
+        return self.rows
+
+    def _shutdown(self) -> None:
+        for worker in self.workers.values():
+            if worker.process.exitcode is None:
+                try:
+                    worker.conn.send(None)
+                except (OSError, ValueError):  # pragma: no cover - dead pipe
+                    pass
+        for worker in self.workers.values():
+            worker.process.join(timeout=0.5)
+            if worker.process.exitcode is None:
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+        self.workers.clear()
+
+
+def _entry_with_attempts(entry: BatchEntry, attempts: int) -> BatchEntry:
+    if attempts != entry.attempts:
+        entry.attempts = attempts
+    return entry
+
+
+# ------------------------------------------------------------------ driving
+
+
+def _serial_rows(
+    tasks: List[Tuple[int, bytes]],
+    configs: Tuple[AnalysisConfig, ...],
+    cache: Optional[ArtifactCache],
+    stats: OrchestratorStats,
+    journal: Optional[SweepJournal],
+    keys: Dict[int, str],
+    on_event: Optional[Callable[[Dict], None]],
+) -> Dict[int, Tuple[BatchEntry, ...]]:
+    """In-process execution (jobs=1, tiny batches, or degraded mode);
+    journal checkpoints work identically to the orchestrated path."""
+    rows: Dict[int, Tuple[BatchEntry, ...]] = {}
+    for index, runtime in tasks:
+        row = tuple(
+            _entry_from_result(
+                index, EthainterAnalysis(config, cache=cache).analyze(runtime)
+            )
+            for config in configs
+        )
+        rows[index] = row
+        stats.dispatched += 1
+        stats.completed += 1
+        if journal is not None and index in keys:
+            journal.record(keys[index], index, row)
+        if on_event is not None:
+            on_event({"event": "task_done", "index": index, "attempt": 0})
+    return rows
+
+
+def run_sweep(
+    bytecodes: Sequence[bytes],
+    configs: Sequence[AnalysisConfig],
+    jobs: int = 1,
+    cache: Optional[ArtifactCache] = None,
+    options: Optional[OrchestratorOptions] = None,
+) -> List[BatchSummary]:
+    """Analyze ``bytecodes`` under every configuration in ``configs``.
+
+    Returns one :class:`BatchSummary` per configuration, index-aligned with
+    ``configs`` and entry-ordered by input index.  The executor is chosen
+    by ``options.executor`` (default: supervised orchestrator when
+    ``jobs > 1``); every summary carries the sweep's
+    :class:`OrchestratorStats` counters in ``summary.orchestrator``.
+    """
+    if not configs:
+        raise ValueError("run_sweep needs at least one configuration")
+    options = options or OrchestratorOptions()
+    configs = tuple(configs)
+    tasks = list(enumerate(bytecodes))
+    started = time.monotonic()
+
+    executor = options.executor
+    if executor not in ("auto", "orchestrator", "pool", "serial"):
+        raise ValueError("unknown executor %r" % (executor,))
+    if executor == "auto":
+        executor = "orchestrator" if jobs > 1 else "serial"
+    if executor in ("orchestrator", "pool") and (jobs <= 1 or len(tasks) < 2):
+        executor = "serial"
+    if executor == "pool" and options.journal_path:
+        raise ValueError(
+            "checkpoint journals need the orchestrator (or serial) executor; "
+            "the legacy pool cannot journal"
+        )
+
+    stats = OrchestratorStats(mode=executor)
+    degraded_reason: Optional[str] = None
+
+    # Resolve the journal identity and resumed rows up front (every
+    # executor but the legacy pool shares this path).
+    journal: Optional[SweepJournal] = None
+    keys: Dict[int, str] = {}
+    rows: Dict[int, Tuple[BatchEntry, ...]] = {}
+    remaining = tasks
+    if options.journal_path:
+        fingerprint = sweep_fingerprint(configs)
+        keys = {
+            index: journal_key(runtime, fingerprint) for index, runtime in tasks
+        }
+        journal = SweepJournal(
+            options.journal_path, fingerprint, resume=options.resume
+        )
+        remaining = []
+        for index, runtime in tasks:
+            entries = journal.lookup(keys[index])
+            if entries is not None and len(entries) == len(configs):
+                rows[index] = tuple(
+                    _entry_from_dict(entry, index=index) for entry in entries
+                )
+                stats.resumed += 1
+                if options.on_event is not None:
+                    options.on_event({"event": "resumed", "index": index})
+            else:
+                remaining.append((index, runtime))
+
+    try:
+        if executor == "orchestrator" and remaining:
+            supervisor = Orchestrator(
+                configs, jobs, options, stats, journal=journal, keys=keys
+            )
+            try:
+                rows.update(supervisor.run(remaining))
+            except _PoolBroken as broken:
+                degraded_reason = str(broken)
+                rows.update(supervisor.rows)
+                remaining = [
+                    task for task in remaining if task[0] not in rows
+                ]
+                executor = "serial"
+        elif executor == "pool" and remaining:
+            worker = _analyze_one if len(configs) == 1 else _analyze_battery_one
+            context = resolve_mp_context(options.mp_context)
+            pooled, degraded_reason = _pool_run(
+                remaining,
+                worker,
+                configs,
+                jobs,
+                cache_entries=options.cache_entries,
+                context=context,
+            )
+            rows.update({row[0].index: tuple(row) for row in pooled})
+            remaining = []
+
+        if executor == "serial" and remaining:
+            serial_cache = cache
+            if serial_cache is None:
+                serial_cache = ArtifactCache(
+                    max_entries=max(4096, 8 * len(tasks) * len(configs))
+                )
+            rows.update(
+                _serial_rows(
+                    remaining,
+                    configs,
+                    serial_cache,
+                    stats,
+                    journal,
+                    keys,
+                    options.on_event,
+                )
+            )
+    finally:
+        if journal is not None:
+            journal.close()
+
+    stats.elapsed_seconds = time.monotonic() - started
+    if degraded_reason is not None:
+        stats.mode = "serial"
+
+    summaries = [BatchSummary() for _ in configs]
+    for index in sorted(rows):
+        for position, entry in enumerate(rows[index]):
+            summaries[position].entries.append(entry)
+    for summary in summaries:
+        summary.orchestrator = stats.as_dict()
+        if degraded_reason is not None:
+            summary.degraded = True
+            summary.degraded_reason = degraded_reason
+    return summaries

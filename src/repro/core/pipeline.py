@@ -106,6 +106,20 @@ def config_fingerprint(config, fields: Tuple[str, ...]) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
+def analysis_fingerprint(config) -> str:
+    """Fingerprint over *every* config field, budgets included.
+
+    The per-stage cache fingerprints deliberately exclude budget fields
+    (only successful outputs are cached); checkpoint journals must not —
+    a journaled ``timeout`` entry is only reusable under the same budget.
+    """
+    import dataclasses
+
+    return config_fingerprint(
+        config, tuple(field.name for field in dataclasses.fields(config))
+    )
+
+
 class ArtifactCache:
     """Bounded LRU cache of stage outputs, content-addressed by bytecode.
 

@@ -1,41 +1,69 @@
-"""Structured reporting: JSON-serializable analysis reports.
+"""Structured reporting: JSON-serializable analysis reports (schema v2).
 
 The live deployment the paper describes (contract-library.com) publishes
 per-contract vulnerability reports and chain-level statistics; this module
 provides the equivalent report objects for single contracts and batch
-sweeps, used by the CLI's ``analyze --json`` and ``sweep`` commands.  The
-per-stage pipeline profile (``--profile``) and artifact-cache counters
-surface here too, so sweep reports record where wall-clock actually went.
+sweeps, used by the CLI's ``analyze --json`` and ``sweep`` commands.
+
+Schema v2 contract: both report shapes carry ``"schema_version": 2`` and
+use the same key names for the shared blocks — ``stage_seconds``,
+``precision``, ``datalog`` — plus the sweep-level ``orchestrator`` block
+(crash/watchdog/retry/resume counters from
+:mod:`repro.core.orchestrator`).  :meth:`ContractReport.from_json` and
+:meth:`SweepReport.from_json` reconstruct reports losslessly, so
+downstream tooling can parse and re-emit reports without touching analyzer
+internals: ``from_json(report.to_json()).to_json()`` is byte-identical.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
+from typing import Dict, List, Optional, Union
 
 from repro.core.analysis import AnalysisResult
+from repro.core.batch import BatchEntry
 from repro.core.vulnerabilities import VULNERABILITY_KINDS
+
+SCHEMA_VERSION = 2
+
+
+def _parse_payload(data: Union[str, Dict], kind: str) -> Dict:
+    if isinstance(data, str):
+        data = json.loads(data)
+    if not isinstance(data, dict):
+        raise ValueError("%s payload must be a JSON object" % kind)
+    version = data.get("schema_version", 1)
+    if version not in (1, SCHEMA_VERSION):
+        raise ValueError(
+            "unsupported %s schema_version %r (supported: 1, %d)"
+            % (kind, version, SCHEMA_VERSION)
+        )
+    return data
 
 
 @dataclass
 class ContractReport:
     """One contract's analysis, ready for serialization."""
 
-    name: str
-    bytecode_size: int
-    block_count: int
-    statement_count: int
-    elapsed_seconds: float
-    error: Optional[str]
+    schema_version: int = SCHEMA_VERSION
+    name: str = ""
+    bytecode_size: int = 0
+    block_count: int = 0
+    statement_count: int = 0
+    elapsed_seconds: float = 0.0
+    error: Optional[str] = None
     deadline_exceeded: bool = False
     warnings: List[Dict] = field(default_factory=list)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
     precision: Dict[str, int] = field(default_factory=dict)
-    # Datalog EngineStats.as_dict() when a datalog engine ran the taint
-    # stage; None for the tuned Python fixpoint.
+    # Datalog engine counters when a datalog engine ran the taint stage;
+    # None for the tuned Python fixpoint.  Reports built from a full
+    # AnalysisResult carry EngineStats.as_dict() (including per-rule
+    # derivation counts); reports built from compact batch entries carry
+    # the scalar counters only.
     datalog: Optional[Dict] = None
 
     @classmethod
@@ -70,6 +98,41 @@ class ContractReport:
             datalog=result.datalog_stats,
         )
 
+    @classmethod
+    def from_entry(
+        cls, entry: BatchEntry, name: str = "", bytecode_size: int = 0
+    ) -> "ContractReport":
+        """Build a report from a compact batch entry (sweep workers return
+        entries, not full results)."""
+        return cls(
+            name=name,
+            bytecode_size=bytecode_size,
+            block_count=entry.block_count,
+            statement_count=entry.statement_count,
+            elapsed_seconds=round(entry.elapsed_seconds, 6),
+            error=entry.error,
+            deadline_exceeded=entry.deadline_exceeded,
+            warnings=[dict(warning) for warning in entry.warnings],
+            stage_seconds={
+                name: round(seconds, 6)
+                for name, seconds in entry.stage_seconds.items()
+            },
+            cache_hits=entry.cache_hits,
+            cache_misses=entry.cache_misses,
+            precision=dict(entry.precision),
+            datalog=dict(entry.datalog) if entry.datalog else None,
+        )
+
+    @classmethod
+    def from_json(cls, data: Union[str, Dict]) -> "ContractReport":
+        """Reconstruct a report from :meth:`to_json` output (round-trip
+        lossless: re-serializing yields byte-identical JSON)."""
+        payload = _parse_payload(data, "ContractReport")
+        known = {f.name for f in dataclass_fields(cls)}
+        report = cls(**{k: v for k, v in payload.items() if k in known})
+        report.schema_version = SCHEMA_VERSION
+        return report
+
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(asdict(self), indent=indent)
 
@@ -78,6 +141,7 @@ class ContractReport:
 class SweepReport:
     """Aggregate over a batch of contracts (the §6.2 statistics shape)."""
 
+    schema_version: int = SCHEMA_VERSION
     total_contracts: int = 0
     analyzed: int = 0
     errors: int = 0
@@ -94,6 +158,9 @@ class SweepReport:
     # Summed Datalog engine counters over contracts that ran a datalog
     # engine (derived_facts, join_probes, iterations, ...).
     datalog: Dict[str, int] = field(default_factory=dict)
+    # Sweep-executor health counters (OrchestratorStats.as_dict()):
+    # crashes, watchdog_kills, retries, recycles, resumed, ...
+    orchestrator: Dict[str, object] = field(default_factory=dict)
     contracts: List[ContractReport] = field(default_factory=list)
 
     def add(self, report: ContractReport) -> None:
@@ -112,8 +179,8 @@ class SweepReport:
         if report.deadline_exceeded:
             self.deadline_exceeded += 1
         if report.error:
-            # Aborted run (timeout mid-stage, lift failure): no valid
-            # warnings.  Late finishes arrive with error=None and
+            # Aborted run (timeout mid-stage, lift failure, worker crash):
+            # no valid warnings.  Late finishes arrive with error=None and
             # deadline_exceeded=True and are counted as analyzed — they are
             # never double-counted as both flagged and errored.
             self.errors += 1
@@ -132,17 +199,31 @@ class SweepReport:
     def flag_rate(self) -> float:
         return self.flagged / self.analyzed if self.analyzed else 0.0
 
+    def error_kind_counts(self) -> Dict[str, int]:
+        """Errored contracts bucketed by taxonomy prefix (``timeout``,
+        ``lift-error``, ``worker_crashed``, ``watchdog_killed``, ...)."""
+        counts: Dict[str, int] = {}
+        for report in self.contracts:
+            if report.error:
+                kind = report.error.split(":", 1)[0].strip()
+                counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
     def summary(self) -> Dict:
+        total_elapsed = round(self.total_elapsed_seconds, 6)
         return {
+            "schema_version": self.schema_version,
             "total_contracts": self.total_contracts,
             "analyzed": self.analyzed,
             "errors": self.errors,
+            "error_kind_counts": self.error_kind_counts(),
             "flagged": self.flagged,
             "deadline_exceeded": self.deadline_exceeded,
             "flag_rate": round(self.flag_rate, 4),
             "kind_counts": dict(self.kind_counts),
+            "total_elapsed_seconds": total_elapsed,
             "avg_elapsed_seconds": round(
-                self.total_elapsed_seconds / max(self.total_contracts, 1), 6
+                total_elapsed / max(self.total_contracts, 1), 6
             ),
             "stage_seconds": {
                 name: round(seconds, 6)
@@ -155,7 +236,35 @@ class SweepReport:
             "datalog": {
                 name: count for name, count in sorted(self.datalog.items())
             },
+            "orchestrator": dict(self.orchestrator),
         }
+
+    @classmethod
+    def from_json(cls, data: Union[str, Dict]) -> "SweepReport":
+        """Reconstruct a sweep report from :meth:`to_json` output
+        (round-trip lossless when contracts were included)."""
+        payload = _parse_payload(data, "SweepReport")
+        cache = payload.get("cache") or {}
+        report = cls(
+            total_contracts=payload.get("total_contracts", 0),
+            analyzed=payload.get("analyzed", 0),
+            errors=payload.get("errors", 0),
+            flagged=payload.get("flagged", 0),
+            deadline_exceeded=payload.get("deadline_exceeded", 0),
+            kind_counts=dict(payload.get("kind_counts") or {}),
+            total_elapsed_seconds=payload.get("total_elapsed_seconds", 0.0),
+            stage_seconds=dict(payload.get("stage_seconds") or {}),
+            cache_hits=cache.get("hits", 0),
+            cache_misses=cache.get("misses", 0),
+            precision=dict(payload.get("precision") or {}),
+            datalog=dict(payload.get("datalog") or {}),
+            orchestrator=dict(payload.get("orchestrator") or {}),
+            contracts=[
+                ContractReport.from_json(contract)
+                for contract in payload.get("contracts") or []
+            ],
+        )
+        return report
 
     def to_json(self, indent: int = 2, include_contracts: bool = True) -> str:
         payload = self.summary()

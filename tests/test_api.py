@@ -1,0 +1,195 @@
+"""The ``repro.api`` public surface and its deprecation shims.
+
+``repro.api`` is the one supported import point; the historical deep
+imports (``repro.core.analysis.analyze_bytecode``,
+``repro.core.batch.analyze_many`` / ``analyze_battery``) must keep
+working — same results — while warning exactly once per process.
+"""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro._compat import reset_deprecation_registry
+from repro.corpus import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(8, seed=7)
+
+
+@pytest.fixture(scope="module")
+def bytecodes(corpus):
+    return [contract.runtime for contract in corpus]
+
+
+class TestSurface:
+    def test_all_names_resolve(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_expected_surface(self):
+        assert {
+            "analyze",
+            "sweep",
+            "battery",
+            "AnalysisConfig",
+            "AnalysisResult",
+            "ArtifactCache",
+            "BatchEntry",
+            "BatchSummary",
+            "ContractReport",
+            "EthainterAnalysis",
+            "FaultPlan",
+            "Finding",
+            "OrchestratorOptions",
+            "OrchestratorStats",
+            "SweepReport",
+            "VULNERABILITY_KINDS",
+            "Warning",
+        } <= set(api.__all__)
+
+    def test_top_level_package_exposes_api(self):
+        import repro
+
+        assert repro.api is api
+
+
+class TestAnalyze:
+    def test_analyze_matches_class_facade(self, bytecodes):
+        direct = api.EthainterAnalysis().analyze(bytecodes[0])
+        convenient = api.analyze(bytecodes[0])
+        assert {w.kind for w in convenient.warnings} == {
+            w.kind for w in direct.warnings
+        }
+
+    def test_analyze_honors_config(self, bytecodes):
+        loose = api.analyze(bytecodes[0], api.AnalysisConfig(model_guards=False))
+        strict = api.analyze(bytecodes[0])
+        assert len(loose.warnings) >= len(strict.warnings)
+
+    def test_analyze_shares_cache(self, bytecodes):
+        cache = api.ArtifactCache(64)
+        api.analyze(bytecodes[0], cache=cache)
+        again = api.analyze(bytecodes[0], cache=cache)
+        assert again.cache_hits > 0
+
+
+class TestSweepAndBattery:
+    def test_sweep_returns_ordered_entries(self, bytecodes):
+        summary = api.sweep(bytecodes)
+        assert [entry.index for entry in summary.entries] == list(
+            range(len(bytecodes))
+        )
+        assert summary.orchestrator["mode"] == "serial"
+
+    def test_sweep_matches_per_contract_analyze(self, bytecodes):
+        summary = api.sweep(bytecodes)
+        for bytecode, entry in zip(bytecodes, summary.entries):
+            direct = api.analyze(bytecode)
+            assert set(entry.kinds) == {w.kind for w in direct.warnings}
+
+    def test_battery_aligns_with_configs(self, bytecodes):
+        configs = [
+            api.AnalysisConfig(),
+            api.AnalysisConfig(model_guards=False),
+        ]
+        summaries = api.battery(bytecodes, configs)
+        assert len(summaries) == 2
+        assert summaries[1].flagged >= summaries[0].flagged
+
+    def test_battery_requires_configs(self, bytecodes):
+        with pytest.raises(ValueError):
+            api.battery(bytecodes, [])
+
+    def test_explicit_options_not_clobbered_by_defaults(self):
+        from repro.api import _options
+
+        options = api.OrchestratorOptions(executor="pool", max_retries=7)
+        resolved = _options(
+            executor=None,
+            mp_context=None,
+            max_retries=None,
+            journal=None,
+            resume=False,
+            on_event=None,
+            options=options,
+        )
+        assert resolved.executor == "pool"
+        assert resolved.max_retries == 7
+        # and the caller's object is copied, not mutated
+        resolved.max_retries = 1
+        assert options.max_retries == 7
+
+    def test_keywords_override_options_copy(self):
+        from repro.api import _options
+
+        options = api.OrchestratorOptions(max_retries=7)
+        resolved = _options(
+            executor="serial",
+            mp_context=None,
+            max_retries=1,
+            journal="j.jsonl",
+            resume=True,
+            on_event=None,
+            options=options,
+        )
+        assert resolved.executor == "serial"
+        assert resolved.max_retries == 1
+        assert resolved.journal_path == "j.jsonl"
+        assert resolved.resume is True
+        assert options.max_retries == 7 and options.journal_path is None
+
+
+class TestDeprecatedShims:
+    def _collect(self, fn):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fn()
+            fn()
+        return [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_analyze_bytecode_warns_exactly_once(self, bytecodes):
+        from repro.core.analysis import analyze_bytecode
+
+        reset_deprecation_registry()
+        caught = self._collect(lambda: analyze_bytecode(bytecodes[0]))
+        assert len(caught) == 1
+        assert "repro.api.analyze" in str(caught[0].message)
+
+    def test_analyze_many_warns_exactly_once_and_matches(self, bytecodes):
+        from repro.core.batch import analyze_many
+
+        reset_deprecation_registry()
+        caught = self._collect(lambda: analyze_many(bytecodes, jobs=1))
+        assert len(caught) == 1
+        assert "repro.api.sweep" in str(caught[0].message)
+        legacy = analyze_many(bytecodes, jobs=1)
+        modern = api.sweep(bytecodes)
+        assert [e.kinds for e in legacy.entries] == [
+            e.kinds for e in modern.entries
+        ]
+
+    def test_analyze_battery_warns_exactly_once(self, bytecodes):
+        from repro.core.batch import analyze_battery
+
+        reset_deprecation_registry()
+        caught = self._collect(
+            lambda: analyze_battery(bytecodes, [api.AnalysisConfig()], jobs=1)
+        )
+        assert len(caught) == 1
+        assert "repro.api.battery" in str(caught[0].message)
+
+    def test_supported_surface_does_not_warn(self, bytecodes):
+        reset_deprecation_registry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            api.analyze(bytecodes[0])
+            api.sweep(bytecodes[:2])
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]

@@ -88,6 +88,12 @@ class TestDegradedMode:
             def Pool(self, *args, **kwargs):
                 raise OSError("no forking allowed here")
 
+            def Pipe(self, *args, **kwargs):
+                raise OSError("no forking allowed here")
+
+            def Process(self, *args, **kwargs):
+                raise OSError("no forking allowed here")
+
         monkeypatch.setattr(
             batch_module.multiprocessing,
             "get_context",

@@ -207,3 +207,90 @@ contract Probe {
         assert main(["sweep", "--size", "4", "--seed", "3", "--value-analysis",
                      "--profile"]) == 0
         assert "precision counters:" in capsys.readouterr().out
+
+
+class TestUnifiedFlags:
+    """``analyze`` and ``sweep`` share one parent parser: identical
+    spellings for --engine, --value-analysis, --deadline, --profile and
+    --json (bare --json = report on stdout, --json FILE = report file)."""
+
+    def test_shared_flags_have_identical_spellings(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action
+            for action in parser._actions
+            if hasattr(action, "choices") and action.choices
+        )
+        shared = {"--engine", "--value-analysis", "--deadline", "--profile", "--json"}
+        for command in ("analyze", "sweep"):
+            spellings = {
+                option
+                for action in subparsers.choices[command]._actions
+                for option in action.option_strings
+            }
+            assert shared <= spellings, command
+
+    def test_analyze_accepts_deadline(self, victim_file):
+        assert main(["analyze", "--source", victim_file, "--deadline", "60"]) == 1
+
+    def test_analyze_timeout_alias_still_works(self, victim_file):
+        assert main(["analyze", "--source", victim_file, "--timeout", "60"]) == 1
+
+    def test_sweep_accepts_deadline(self, capsys):
+        assert main(["sweep", "--size", "4", "--seed", "3", "--deadline", "60"]) == 0
+
+    def test_analyze_json_to_file(self, victim_file, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["analyze", "--source", victim_file, "--json", str(out)]) == 1
+        assert "report written" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 2
+
+    def test_sweep_bare_json_goes_to_stdout(self, capsys):
+        assert main(["sweep", "--size", "4", "--seed", "3", "--json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["total_contracts"] == 4
+        # the human summary moved to stderr
+        assert "flag rate" in captured.err
+
+    def test_sweep_json_report_is_schema_v2_with_orchestrator(self, tmp_path):
+        out = tmp_path / "sweep.json"
+        assert main(["sweep", "--size", "4", "--seed", "3", "--jobs", "2",
+                     "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 2
+        assert payload["orchestrator"]["mode"] == "orchestrator"
+        assert payload["orchestrator"]["workers"] == 2
+
+
+class TestSweepOrchestration:
+    def test_sweep_jobs_parallel(self, capsys):
+        assert main(["sweep", "--size", "6", "--seed", "3", "--jobs", "2",
+                     "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "orchestrator:" in output
+        assert "crashes" in output
+
+    def test_sweep_executor_serial_even_with_jobs(self, capsys):
+        assert main(["sweep", "--size", "4", "--seed", "3", "--jobs", "2",
+                     "--executor", "serial", "--profile"]) == 0
+        assert "mode                         serial" in capsys.readouterr().out
+
+    def test_sweep_resume_flow(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "--size", "5", "--seed", "3",
+                     "--resume", str(journal)]) == 0
+        capsys.readouterr()
+        # journal now complete: the second run resumes everything
+        assert main(["sweep", "--size", "5", "--seed", "3", "--jobs", "2",
+                     "--resume", str(journal), "--profile"]) == 0
+        output = capsys.readouterr().out
+        assert "resumed                      5" in output
+
+    def test_sweep_mp_context_spawn(self, capsys):
+        assert main(["sweep", "--size", "4", "--seed", "3", "--jobs", "2",
+                     "--mp-context", "spawn"]) == 0
+        assert "analyzed 4 contracts" in capsys.readouterr().out

@@ -122,6 +122,77 @@ class TestSweepReport:
         assert "contracts" not in compact
 
 
+class TestSchemaV2:
+    def test_contract_report_carries_schema_version(self, victim_contract):
+        result = analyze_bytecode(victim_contract.runtime)
+        report = ContractReport.from_result(result, name="Victim")
+        payload = json.loads(report.to_json())
+        assert payload["schema_version"] == 2
+        # schema_version leads the payload so readers can dispatch early.
+        assert next(iter(payload)) == "schema_version"
+
+    def test_sweep_report_carries_schema_version(self, victim_contract):
+        sweep = SweepReport()
+        sweep.add(
+            ContractReport.from_result(analyze_bytecode(victim_contract.runtime))
+        )
+        payload = json.loads(sweep.to_json())
+        assert payload["schema_version"] == 2
+        assert "error_kind_counts" in payload
+        assert "orchestrator" in payload
+
+    def test_contract_report_from_json_roundtrip(self, victim_contract):
+        result = analyze_bytecode(victim_contract.runtime)
+        report = ContractReport.from_result(result, name="Victim", bytecode_size=7)
+        text = report.to_json()
+        assert ContractReport.from_json(text).to_json() == text
+
+    def test_sweep_report_from_json_roundtrip(self, victim_contract, safe_contract):
+        sweep = SweepReport()
+        for contract in (victim_contract, safe_contract):
+            sweep.add(
+                ContractReport.from_result(
+                    analyze_bytecode(contract.runtime), name=contract.name
+                )
+            )
+        sweep.orchestrator = {"mode": "serial", "crashes": 0}
+        text = sweep.to_json()
+        restored = SweepReport.from_json(text)
+        assert restored.to_json() == text
+        assert restored.orchestrator == {"mode": "serial", "crashes": 0}
+
+    def test_schema_version_1_accepted_unknown_rejected(self):
+        assert ContractReport.from_json({"schema_version": 1, "name": "x"}).name == "x"
+        with pytest.raises(ValueError):
+            ContractReport.from_json({"schema_version": 99})
+        with pytest.raises(ValueError):
+            SweepReport.from_json({"schema_version": 3})
+        with pytest.raises(ValueError):
+            ContractReport.from_json(json.dumps([1, 2]))
+
+    def test_from_entry_matches_from_result(self, victim_contract):
+        from repro.core.batch import _entry_from_result
+
+        result = analyze_bytecode(victim_contract.runtime)
+        from_result = ContractReport.from_result(
+            result, name="Victim", bytecode_size=9
+        )
+        from_entry = ContractReport.from_entry(
+            _entry_from_result(0, result), name="Victim", bytecode_size=9
+        )
+        assert from_entry.to_json() == from_result.to_json()
+
+    def test_error_kind_counts(self):
+        sweep = SweepReport()
+        sweep.add(ContractReport(name="a", error="timeout"))
+        sweep.add(ContractReport(name="b", error="worker_crashed: exit 9"))
+        sweep.add(ContractReport(name="c", error="worker_crashed: exit 11"))
+        assert sweep.error_kind_counts() == {
+            "timeout": 1,
+            "worker_crashed": 2,
+        }
+
+
 class TestCliJsonPaths:
     def test_analyze_json(self, tmp_path, capsys):
         from repro.cli import main
