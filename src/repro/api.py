@@ -36,6 +36,7 @@ from repro.core.analysis import (
     Warning,
 )
 from repro.core.batch import BatchEntry, BatchSummary
+from repro.core.bytecode_datalog import WarmEngineCache
 from repro.core.orchestrator import (
     FaultPlan,
     OrchestratorOptions,
@@ -63,6 +64,7 @@ __all__ = [
     "OrchestratorStats",
     "SweepReport",
     "VULNERABILITY_KINDS",
+    "WarmEngineCache",
     "Warning",
 ]
 
@@ -72,9 +74,18 @@ def analyze(
     config: Optional[AnalysisConfig] = None,
     *,
     cache: Optional[ArtifactCache] = None,
+    warm=None,
 ) -> AnalysisResult:
-    """Analyze one contract's runtime bytecode."""
-    return EthainterAnalysis(config, cache=cache).analyze(bytecode)
+    """Analyze one contract's runtime bytecode.
+
+    ``warm`` optionally takes a
+    :class:`~repro.core.bytecode_datalog.WarmEngineCache`: repeated calls
+    on the same contract with a datalog engine then repair one live
+    fixpoint incrementally (DRed) instead of recomputing it — e.g. an
+    ablation battery flipping ``model_guards`` re-derives only the facts
+    the flipped guards touch.
+    """
+    return EthainterAnalysis(config, cache=cache, warm=warm).analyze(bytecode)
 
 
 def _options(

@@ -444,13 +444,18 @@ def _analysis_parent() -> argparse.ArgumentParser:
     argument writes the report to stdout (human output moves to stderr);
     with a path it writes the report file.
     """
+    from repro.core.pipeline import ENGINE_CHOICES
+
     parent = argparse.ArgumentParser(add_help=False)
     parent.add_argument(
         "--engine",
-        choices=["python", "datalog", "datalog-legacy"],
+        choices=sorted(ENGINE_CHOICES),
         default="python",
-        help="fixpoint engine (datalog = the declarative rules on compiled "
-        "join plans; datalog-legacy = the uncompiled interpreter baseline)",
+        help="fixpoint engine: "
+        + "; ".join(
+            "%s = %s" % (name, description)
+            for name, description in sorted(ENGINE_CHOICES.items())
+        ),
     )
     parent.add_argument(
         "--value-analysis",

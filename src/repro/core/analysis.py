@@ -56,10 +56,13 @@ class AnalysisConfig:
     # Which fixpoint engine runs the taint rules: the tuned Python fixpoint
     # (default), the declarative Datalog rules on compiled join plans
     # ("datalog"; paper-faithful, cross-checked equal in the test suite),
+    # the same plans over columnar storage with batch joins
+    # ("datalog-columnar"; byte-identical fixpoints, faster on large EDBs),
     # or the uncompiled Datalog interpreter ("datalog-legacy"; equivalence
     # and benchmark baseline only).  The Datalog paths do not reconstruct
-    # per-variable witnesses, so warning detail text is terser.
-    engine: str = "python"  # "python" | "datalog" | "datalog-legacy"
+    # per-variable witnesses, so warning detail text is terser.  The valid
+    # set lives in :data:`repro.core.pipeline.ENGINE_CHOICES`.
+    engine: str = "python"
 
     def taint_options(self) -> TaintOptions:
         return TaintOptions(
@@ -190,13 +193,20 @@ class EthainterAnalysis:
         self,
         config: Optional[AnalysisConfig] = None,
         cache: Optional[ArtifactCache] = None,
+        warm: Optional[object] = None,
     ):
         self.config = config or AnalysisConfig()
         self.cache = cache
+        # Optional WarmEngineCache shared across analyses so the datalog
+        # tiers repair a live fixpoint instead of recomputing (Fig. 8
+        # ablation batteries, repeated api.analyze calls).
+        self.warm = warm
 
     def analyze(self, runtime_bytecode: bytes) -> AnalysisResult:
         """Run the staged pipeline (lift, model, fixpoint, detect)."""
-        outcome = run_pipeline(runtime_bytecode, self.config, cache=self.cache)
+        outcome = run_pipeline(
+            runtime_bytecode, self.config, cache=self.cache, warm=self.warm
+        )
         result = AnalysisResult(
             error=outcome.error,
             deadline_exceeded=outcome.deadline_exceeded,

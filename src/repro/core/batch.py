@@ -191,14 +191,26 @@ def _entry_from_result(index: int, result: AnalysisResult) -> BatchEntry:
 # the ablation-independent prefix across configs.
 _WORKER_CONFIGS: Tuple[AnalysisConfig, ...] = ()
 _WORKER_CACHE: Optional[ArtifactCache] = None
+_WORKER_WARM = None  # WarmEngineCache when any config runs a datalog tier
 
 
 def _init_worker(
     configs: Tuple[AnalysisConfig, ...], cache_entries: int = 0
 ) -> None:
-    global _WORKER_CONFIGS, _WORKER_CACHE
+    global _WORKER_CONFIGS, _WORKER_CACHE, _WORKER_WARM
     _WORKER_CONFIGS = configs
     _WORKER_CACHE = ArtifactCache(cache_entries) if cache_entries > 0 else None
+    _WORKER_WARM = None
+    if any(
+        getattr(config, "engine", "python").startswith("datalog")
+        for config in configs
+    ):
+        from repro.core.bytecode_datalog import WarmEngineCache
+
+        # Battery runs analyze one contract under several configurations
+        # in the same worker: the warm cache lets the datalog tiers repair
+        # one live fixpoint per contract (DRed) across the flag flips.
+        _WORKER_WARM = WarmEngineCache()
 
 
 def _analyze_one(task: Tuple[int, bytes]) -> Tuple[BatchEntry, ...]:
@@ -206,7 +218,9 @@ def _analyze_one(task: Tuple[int, bytes]) -> Tuple[BatchEntry, ...]:
     return tuple(
         _entry_from_result(
             index,
-            EthainterAnalysis(config, cache=_WORKER_CACHE).analyze(runtime),
+            EthainterAnalysis(
+                config, cache=_WORKER_CACHE, warm=_WORKER_WARM
+            ).analyze(runtime),
         )
         for config in _WORKER_CONFIGS[:1]
     )
@@ -219,7 +233,9 @@ def _analyze_battery_one(task: Tuple[int, bytes]) -> Tuple[BatchEntry, ...]:
     return tuple(
         _entry_from_result(
             index,
-            EthainterAnalysis(config, cache=_WORKER_CACHE).analyze(runtime),
+            EthainterAnalysis(
+                config, cache=_WORKER_CACHE, warm=_WORKER_WARM
+            ).analyze(runtime),
         )
         for config in _WORKER_CONFIGS
     )

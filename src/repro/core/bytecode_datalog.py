@@ -40,7 +40,9 @@ IDB:
 
 from __future__ import annotations
 
-from typing import List, Optional
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.facts import ContractFacts, extract_facts
 from repro.core.guards import DS_LOOKUP, EQ_SENDER, GuardModel, build_guard_model
@@ -133,13 +135,19 @@ StorageTaint(x) :- SLoadUnknown(s, a, x), AnySlotTainted().
 """
 
 
-def _facts_to_database(
+def _facts_to_edb(
     facts: ContractFacts,
     storage: StorageModel,
     guards: GuardModel,
     options: TaintOptions,
-) -> Database:
-    database = Database()
+) -> Dict[str, Set[Tuple]]:
+    """The EDB as plain per-relation fact sets.
+
+    Keeping the extraction separate from :class:`Database` loading lets the
+    warm-engine path diff two EDBs and repair a live fixpoint incrementally
+    instead of re-evaluating from scratch.
+    """
+    database = _EdbBuilder()
 
     for stmt in facts.program.statements():
         database.add("Stmt", (stmt.ident,))
@@ -227,6 +235,25 @@ def _facts_to_database(
             database.add("MappingConfined", (variable,))
         for variable in storage.ds_vars:
             database.add("SenderKey", (variable,))
+    return database.relations
+
+
+class _EdbBuilder:
+    """Minimal ``Database.add``-shaped collector used by ``_facts_to_edb``."""
+
+    __slots__ = ("relations",)
+
+    def __init__(self) -> None:
+        self.relations: Dict[str, Set[Tuple]] = {}
+
+    def add(self, relation: str, fact: Tuple) -> None:
+        self.relations.setdefault(relation, set()).add(fact)
+
+
+def _load_edb(edb: Dict[str, Set[Tuple]]) -> Database:
+    database = Database()
+    for relation, rows in edb.items():
+        database.add_all(relation, rows)
     return database
 
 
@@ -239,6 +266,112 @@ def _rules(options: TaintOptions):
     return parse_program(text).rules
 
 
+def _contract_key(
+    runtime_bytecode: Optional[bytes], edb: Dict[str, Set[Tuple]]
+) -> str:
+    """A stable identity for the analyzed contract.
+
+    Prefers the bytecode digest; falls back to hashing the flag-insensitive
+    base relations (always emitted regardless of :class:`TaintOptions`) so
+    pre-extracted facts still key consistently across option flips.
+    """
+    digest = hashlib.sha256()
+    if runtime_bytecode is not None:
+        digest.update(runtime_bytecode)
+        return digest.hexdigest()
+    for relation in ("Stmt", "Infoflow", "CALLDATALOAD"):
+        digest.update(relation.encode())
+        for fact in sorted(edb.get(relation, ()), key=repr):
+            digest.update(repr(fact).encode())
+    return digest.hexdigest()
+
+
+class WarmEngineCache:
+    """LRU of live Datalog fixpoints repaired incrementally across calls.
+
+    Keyed by (contract identity, ruleset flags, engine mode).  A repeated
+    analysis of the same contract whose EDB differs — e.g. the Fig. 8
+    ablation battery flipping ``model_guards``, which changes the extracted
+    facts but not the ruleset — diffs the EDBs and hands the delta to
+    :meth:`Engine.apply_changes` (DRed) instead of re-running the fixpoint
+    from scratch.  Identical EDBs reuse the fixpoint outright.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        self.maxsize = maxsize
+        # key -> (engine, database, edb snapshot)
+        self._entries: "OrderedDict[Tuple, Tuple[Engine, Database, dict]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.repairs = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "repairs": self.repairs,
+            "entries": len(self._entries),
+        }
+
+    def fixpoint(
+        self,
+        contract_key: str,
+        options: TaintOptions,
+        edb: Dict[str, Set[Tuple]],
+        rules,
+        track_provenance: bool,
+        use_plans: bool,
+        columnar: Optional[bool],
+    ) -> Tuple[Engine, Database]:
+        key = (
+            contract_key,
+            options.model_storage_taint,
+            options.conservative_storage,
+            track_provenance,
+            use_plans,
+            bool(columnar),
+        )
+        entry = self._entries.get(key)
+        if entry is not None and use_plans:
+            self._entries.move_to_end(key)
+            engine, database, cached_edb = entry
+            additions = {
+                relation: rows - cached_edb.get(relation, set())
+                for relation, rows in edb.items()
+            }
+            retractions = {
+                relation: rows - edb.get(relation, set())
+                for relation, rows in cached_edb.items()
+            }
+            additions = {rel: rows for rel, rows in additions.items() if rows}
+            retractions = {rel: rows for rel, rows in retractions.items() if rows}
+            if additions or retractions:
+                engine.apply_changes(
+                    additions, retractions, deadline=options.deadline
+                )
+                self.repairs += 1
+            else:
+                self.hits += 1
+            self._entries[key] = (engine, database, edb)
+            return engine, database
+        self.misses += 1
+        database = _load_edb(edb)
+        engine = Engine(
+            rules,
+            track_provenance=track_provenance,
+            use_plans=use_plans,
+            columnar=columnar,
+        )
+        engine.evaluate(database, deadline=options.deadline)
+        if use_plans:  # DRed repair needs the compiled plans
+            self._entries[key] = (engine, database, edb)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return engine, database
+
+
 def analyze_with_datalog(
     runtime_bytecode: Optional[bytes] = None,
     facts: Optional[ContractFacts] = None,
@@ -247,6 +380,8 @@ def analyze_with_datalog(
     options: Optional[TaintOptions] = None,
     track_provenance: bool = False,
     use_plans: bool = True,
+    columnar: Optional[bool] = None,
+    warm: Optional[WarmEngineCache] = None,
 ) -> TaintResult:
     """Run the declarative bytecode analysis.
 
@@ -259,7 +394,11 @@ def analyze_with_datalog(
     :class:`~repro.datalog.Engine` is attached as ``result.engine`` so
     callers can render derivation trees for the findings.
     ``use_plans=False`` selects the legacy interpreter (the
-    ``engine="datalog-legacy"`` config value — equivalence baseline only).
+    ``engine="datalog-legacy"`` config value — equivalence baseline only);
+    ``columnar=True`` the batch columnar executor (``datalog-columnar``).
+    Passing a :class:`WarmEngineCache` as ``warm`` reuses a live fixpoint
+    for repeat analyses of the same contract, repairing it via DRed when
+    the extracted EDB changed (e.g. an ablation flag flip).
     The engine's profiling counters land in ``result.engine_stats``.
     """
     options = options or TaintOptions()
@@ -273,13 +412,27 @@ def analyze_with_datalog(
     if guards is None:
         guards = build_guard_model(facts, storage)
 
-    database = _facts_to_database(facts, storage, guards, options)
-    engine = Engine(
-        _rules(options),
-        track_provenance=track_provenance,
-        use_plans=use_plans,
-    )
-    engine.evaluate(database, deadline=options.deadline)
+    edb = _facts_to_edb(facts, storage, guards, options)
+    rules = _rules(options)
+    if warm is not None:
+        engine, database = warm.fixpoint(
+            _contract_key(runtime_bytecode, edb),
+            options,
+            edb,
+            rules,
+            track_provenance,
+            use_plans,
+            columnar,
+        )
+    else:
+        database = _load_edb(edb)
+        engine = Engine(
+            rules,
+            track_provenance=track_provenance,
+            use_plans=use_plans,
+            columnar=columnar,
+        )
+        engine.evaluate(database, deadline=options.deadline)
 
     result = TaintResult()
     result.input_tainted = {row[0] for row in database.facts("InputTaint")}

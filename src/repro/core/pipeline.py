@@ -48,6 +48,38 @@ class DeadlineExceeded(Exception):
     """A cooperative deadline check fired inside a stage."""
 
 
+# Taint-stage engine registry: config value -> one-line description (the
+# CLI renders these into ``--engine`` help; ``run_pipeline`` validates
+# against the key set).  The datalog tiers map onto
+# ``analyze_with_datalog(use_plans=..., columnar=...)``.
+ENGINE_CHOICES: Dict[str, str] = {
+    "python": "tuned hand-written Python fixpoint (default, fastest)",
+    "datalog": "declarative rules on compiled join plans (paper-faithful)",
+    "datalog-columnar": (
+        "compiled plans over columnar storage with batch joins"
+    ),
+    "datalog-legacy": "uncompiled Datalog interpreter (baseline only)",
+}
+
+# engine value -> (use_plans, columnar) for the datalog tiers.
+_DATALOG_MODES: Dict[str, Tuple[bool, bool]] = {
+    "datalog": (True, False),
+    "datalog-columnar": (True, True),
+    "datalog-legacy": (False, False),
+}
+
+
+class UnknownEngineError(ValueError):
+    """An :class:`AnalysisConfig` named an engine that does not exist."""
+
+    def __init__(self, engine: str):
+        self.engine = engine
+        super().__init__(
+            "unknown engine %r: valid choices are %s"
+            % (engine, ", ".join(sorted(ENGINE_CHOICES)))
+        )
+
+
 class Deadline:
     """A shared wall-clock budget, checked cooperatively by the stages.
 
@@ -179,6 +211,9 @@ class PipelineContext:
     config: object  # AnalysisConfig (not imported here to avoid a cycle)
     deadline: Deadline
     artifacts: Dict[str, object] = field(default_factory=dict)
+    # WarmEngineCache for the datalog tiers: repeat analyses of the same
+    # contract repair a live fixpoint (DRed) instead of re-evaluating.
+    warm: Optional[object] = None
 
 
 def _run_lift(ctx: PipelineContext):
@@ -219,15 +254,20 @@ def _run_guards(ctx: PipelineContext):
 def _run_taint(ctx: PipelineContext):
     options = ctx.config.taint_options()
     options.deadline = ctx.deadline
-    if ctx.config.engine in ("datalog", "datalog-legacy"):
+    mode = _DATALOG_MODES.get(ctx.config.engine)
+    if mode is not None:
         from repro.core.bytecode_datalog import analyze_with_datalog
 
+        use_plans, columnar = mode
         return analyze_with_datalog(
+            runtime_bytecode=ctx.bytecode,
             facts=ctx.artifacts["values"],
             storage=ctx.artifacts["storage"],
             guards=ctx.artifacts["guards"],
             options=options,
-            use_plans=ctx.config.engine != "datalog-legacy",
+            use_plans=use_plans,
+            columnar=columnar,
+            warm=ctx.warm,
         )
     from repro.core.taint import TaintAnalysis
 
@@ -332,8 +372,13 @@ def run_pipeline(
     config,
     cache: Optional[ArtifactCache] = None,
     deadline: Optional[Deadline] = None,
+    warm: Optional[object] = None,
 ) -> PipelineOutcome:
     """Run the staged analysis over one contract.
+
+    ``warm`` optionally carries a
+    :class:`~repro.core.bytecode_datalog.WarmEngineCache` so repeat datalog
+    runs over the same contract repair a live fixpoint incrementally.
 
     Terminal states are explicit:
 
@@ -345,6 +390,9 @@ def run_pipeline(
       double-counted as both flagged and errored);
     * a lift failure sets ``error="lift-error: ..."``.
     """
+    engine = getattr(config, "engine", "python")
+    if engine not in ENGINE_CHOICES:
+        raise UnknownEngineError(engine)
     started = time.monotonic()
     outcome = PipelineOutcome()
     if deadline is None:
@@ -353,7 +401,7 @@ def run_pipeline(
     digest = bytecode_digest(runtime_bytecode) if cache is not None else None
     fingerprints = stage_fingerprints(config) if cache is not None else {}
     context = PipelineContext(
-        bytecode=runtime_bytecode, config=config, deadline=deadline
+        bytecode=runtime_bytecode, config=config, deadline=deadline, warm=warm
     )
 
     for stage in STAGES:

@@ -28,6 +28,9 @@ baseline; both paths produce byte-identical fixpoints and provenance.
 
 from __future__ import annotations
 
+import os
+from array import array
+from itertools import repeat
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.planner import (
@@ -166,6 +169,105 @@ def condensation_levels(
     return level
 
 
+# ------------------------------------------------------------ columnar store
+
+
+def _intersect_runs(left: Sequence[int], right: Sequence[int]) -> List[int]:
+    """Intersection of two ascending row-id runs (merge walk)."""
+    out: List[int] = []
+    append = out.append
+    i = j = 0
+    len_left = len(left)
+    len_right = len(right)
+    while i < len_left and j < len_right:
+        x = left[i]
+        y = right[j]
+        if x == y:
+            append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def _probe_runs(
+    postings: Sequence[Dict[int, Sequence[int]]], key: Sequence[int]
+) -> Optional[Sequence[int]]:
+    """Row ids matching ``key`` across per-position postings: the first
+    position's run, narrowed by sorted-run intersection with each further
+    position's run.  Runs append in insertion order so they are ascending
+    by construction.  Returns None on a miss."""
+    run = postings[0].get(key[0])
+    if not run:
+        return None
+    for index in range(1, len(key)):
+        other = postings[index].get(key[index])
+        if not other:
+            return None
+        run = _intersect_runs(run, other)
+        if not run:
+            return None
+    return run
+
+
+class ColumnarRelation:
+    """Column-oriented storage for one relation: parallel ``array('q')``
+    columns of interned ids (one per argument position) plus per-position
+    postings mapping a key id to the ascending run of row ids carrying it.
+
+    Rows only append (the engine's fixpoint is monotone within an
+    evaluation); a removal invalidates row ids, so the database drops the
+    whole view and the next columnar bind rebuilds it."""
+
+    __slots__ = ("arity", "rows", "columns", "postings")
+
+    def __init__(self, arity: int):
+        self.arity = arity
+        self.rows = 0
+        self.columns: List[array] = [array("q") for _ in range(arity)]
+        self.postings: Dict[int, Dict[int, array]] = {}
+
+    def append(self, fact: Tuple[int, ...]) -> None:
+        row = self.rows
+        for column, value in zip(self.columns, fact):
+            column.append(value)
+        self.rows = row + 1
+        for position, posting in self.postings.items():
+            key = fact[position]
+            run = posting.get(key)
+            if run is None:
+                posting[key] = array("q", (row,))
+            else:
+                run.append(row)
+
+    def register_posting(self, position: int) -> Dict[int, array]:
+        """Ensure the posting index for ``position`` exists (built by one
+        scan of the column; appends keep it fresh)."""
+        posting = self.postings.get(position)
+        if posting is None:
+            posting = {}
+            for row, key in enumerate(self.columns[position]):
+                run = posting.get(key)
+                if run is None:
+                    posting[key] = array("q", (row,))
+                else:
+                    run.append(row)
+            self.postings[position] = posting
+        return posting
+
+    def row_ids(
+        self, positions: Tuple[int, ...], key: Tuple[int, ...]
+    ) -> Sequence[int]:
+        """Rows whose values at ``positions`` equal ``key`` (interned),
+        via sorted-run intersection of the per-position postings."""
+        postings = [self.register_posting(position) for position in positions]
+        run = _probe_runs(postings, key)
+        return run if run is not None else ()
+
+
 class Database:
     """Interned fact storage with eagerly maintainable hash indexes.
 
@@ -195,6 +297,9 @@ class Database:
         self._decoded: Dict[str, frozenset] = {}
         # relation -> {interned fact: decoded fact} memo for lookup().
         self._fact_memo: Dict[str, Dict[Tuple, Tuple]] = {}
+        # relation -> ColumnarRelation, registered by columnar plan binds
+        # and kept fresh by inserts; dropped wholesale on removal.
+        self._columnar: Dict[str, ColumnarRelation] = {}
 
     # ---------------------------------------------------------- interning
 
@@ -245,12 +350,52 @@ class Database:
                     index[key] = [fact]
                 else:
                     bucket.append(fact)
+        view = self._columnar.get(relation)
+        if view is not None:
+            view.append(fact)
         self._decoded.pop(relation, None)
         return True
 
     def add_all(self, relation: str, facts: Iterable[Iterable]) -> int:
         """Insert many facts; returns how many were new."""
         return sum(1 for fact in facts if self.add(relation, fact))
+
+    def remove(self, relation: str, fact: Iterable) -> bool:
+        """Remove one fact (raw values); returns True if it was present."""
+        intern = self._intern
+        interned: List[int] = []
+        for value in fact:
+            ident = intern.get(value)
+            if ident is None:
+                return False
+            interned.append(ident)
+        return self.remove_interned(relation, tuple(interned))
+
+    def remove_interned(self, relation: str, fact: Tuple[int, ...]) -> bool:
+        """Remove an already-interned fact, maintaining hash indexes and
+        invalidating caches; returns True if it was present.
+
+        Columnar views are append-only (row ids would dangle), so the
+        relation's view is dropped and rebuilt at the next columnar bind."""
+        rel = self._relations.get(relation)
+        if rel is None or fact not in rel:
+            return False
+        rel.discard(fact)
+        indexes = self._indexes.get(relation)
+        if indexes:
+            for positions, index in indexes.items():
+                key = tuple(fact[position] for position in positions)
+                bucket = index.get(key)
+                if bucket is not None:
+                    try:
+                        bucket.remove(fact)
+                    except ValueError:
+                        pass
+                    if not bucket:
+                        del index[key]
+        self._decoded.pop(relation, None)
+        self._columnar.pop(relation, None)
+        return True
 
     # -------------------------------------------------------------- reads
 
@@ -365,6 +510,17 @@ class Database:
             rel = self._relations[relation] = set()
         return rel
 
+    def columnar_view(self, relation: str, arity: int) -> ColumnarRelation:
+        """The live columnar view of ``relation``, built from the current
+        fact set on first request and maintained by subsequent inserts."""
+        view = self._columnar.get(relation)
+        if view is None:
+            view = ColumnarRelation(arity)
+            for fact in self._relations.get(relation, ()):
+                view.append(fact)
+            self._columnar[relation] = view
+        return view
+
 
 class Engine:
     """Evaluates a rule set over a database to fixpoint.
@@ -380,6 +536,20 @@ class Engine:
     fact, the rule and body facts of its *first* derivation; ``explain``
     then renders the derivation tree down to the EDB — the "why" behind an
     analysis warning.
+
+    ``columnar=True`` selects the block-wise columnar executor: relations
+    are additionally bound as parallel int columns with row-id postings,
+    and each join step extends a whole batch of environment rows at once
+    instead of backtracking one tuple at a time.  Fixpoints are
+    byte-identical across all executors.  ``columnar=None`` (the default)
+    consults the ``REPRO_DATALOG_COLUMNAR`` environment variable, so a CI
+    leg can swing every Engine in a test run onto the columnar path.
+
+    After an ``evaluate()`` the engine remembers the database and its EDB
+    (the facts present before derivation started); :meth:`apply_changes`
+    then accepts EDB additions/retractions and repairs the fixpoint
+    incrementally with DRed (overdelete / rederive / insert) instead of
+    recomputing from scratch.
     """
 
     def __init__(
@@ -387,14 +557,45 @@ class Engine:
         rules: Sequence[Rule],
         track_provenance: bool = False,
         use_plans: bool = True,
+        columnar: Optional[bool] = None,
     ):
         self.rules = list(rules)
         self.track_provenance = track_provenance
         self.use_plans = use_plans
+        if columnar is None:
+            flag = os.environ.get("REPRO_DATALOG_COLUMNAR", "")
+            columnar = flag.lower() not in ("", "0", "false", "no")
+        self.columnar = bool(columnar) and use_plans
         self.stats = EngineStats()
         # (relation, fact) -> (rule, [(relation, fact), ...]) of 1st proof.
         self.provenance: Dict[Tuple[str, Tuple], Tuple[Rule, List[Tuple[str, Tuple]]]] = {}
         self.strata = self._stratify()
+        # Per-stratum relation roles, used by incremental maintenance to
+        # route changes: head relations, positively read relations, and
+        # negated relations.
+        self._stratum_heads: List[Set[str]] = []
+        self._stratum_pos: List[Set[str]] = []
+        self._stratum_neg: List[Set[str]] = []
+        for stratum in self.strata:
+            heads: Set[str] = set()
+            reads_pos: Set[str] = set()
+            reads_neg: Set[str] = set()
+            for rule in stratum:
+                heads.add(rule.head.relation)
+                for item in rule.body:
+                    if isinstance(item, Literal):
+                        if item.negated:
+                            reads_neg.add(item.atom.relation)
+                        else:
+                            reads_pos.add(item.atom.relation)
+            self._stratum_heads.append(heads)
+            self._stratum_pos.append(reads_pos)
+            self._stratum_neg.append(reads_neg)
+        # Incremental (DRed) state: the database of the last evaluate(),
+        # its EDB snapshot, and lazily compiled all-delta repair plans.
+        self._inc_db: Optional[Database] = None
+        self._inc_edb: Optional[Dict[str, Set[Tuple[int, ...]]]] = None
+        self._inc_plans: Optional[List[List[RulePlan]]] = None
         # Static compile (no size estimates) surfaces PlanningErrors —
         # wildcards in negation, unbindable filter variables — at
         # construction; evaluate() re-plans with live relation sizes.
@@ -445,10 +646,20 @@ class Engine:
         """
         self.stats.evaluations += 1
         if self.use_plans:
-            # Re-plan with live relation sizes so the SIP heuristic orders
-            # joins by actual EDB cardinalities, then bind each stratum's
-            # plans (intern constants, register indexes) just before it runs
-            # so lower-stratum results inform upper-stratum plans.
+            # Snapshot the EDB (everything present before derivation) so
+            # apply_changes() can later tell explicit facts from derived
+            # ones; re-plan with live relation sizes so the SIP heuristic
+            # orders joins by actual EDB cardinalities, then bind each
+            # stratum's plans (intern constants, register indexes) just
+            # before it runs so lower-stratum results inform upper-stratum
+            # plans.
+            self._inc_db = database
+            self._inc_edb = {
+                relation: set(facts)
+                for relation, facts in database._relations.items()
+                if facts
+            }
+            self._inc_plans = None
             self.plans = compile_strata(self.strata, size_of=database.count)
             for stratum_plans in self.plans:
                 self._bind_stratum(database, stratum_plans)
@@ -456,6 +667,9 @@ class Engine:
                     database, stratum_plans, max_iterations, deadline
                 )
         else:
+            self._inc_db = None
+            self._inc_edb = None
+            self._inc_plans = None
             for stratum in self.strata:
                 self._evaluate_stratum(database, stratum, max_iterations, deadline)
         return database
@@ -470,21 +684,46 @@ class Engine:
             for variant in plan.variants():
                 self._bind_variant(database, variant)
 
-    def _bind_variant(self, database: Database, variant: PlanVariant) -> None:
+    def _bind_variant(
+        self,
+        database: Database,
+        variant: PlanVariant,
+        columnar: Optional[bool] = None,
+    ) -> None:
+        # Constant interning is destructive (raw values become ids), so it
+        # runs exactly once per (variant, database); re-binds only refresh
+        # the live index / relation / column references.
+        intern_specs = variant.bound_db is not database
+        variant.bound_db = database
+        if columnar is None:
+            columnar = self.columnar
         intern = database.intern_value
         for guard in variant.prelude:
-            self._bind_guard(database, guard)
+            self._bind_guard(database, guard, intern_specs)
         for step in variant.steps:
-            step.key_spec = tuple(
-                (True, value) if from_slot else (False, intern(value))
-                for from_slot, value in step.key_spec
-            )
-            if step.key_spec and all(
-                not from_slot for from_slot, _ in step.key_spec
-            ):
-                step.static_key = tuple(value for _, value in step.key_spec)
+            if intern_specs:
+                step.key_spec = tuple(
+                    (True, value) if from_slot else (False, intern(value))
+                    for from_slot, value in step.key_spec
+                )
+                if step.key_spec and all(
+                    not from_slot for from_slot, _ in step.key_spec
+                ):
+                    step.static_key = tuple(
+                        value for _, value in step.key_spec
+                    )
             if step.delta:
                 pass  # candidates come from the per-round delta sets
+            elif columnar:
+                view = database.columnar_view(step.relation, step.arity)
+                step.columnar = view
+                if step.positions:
+                    postings = []
+                    for position in step.positions:
+                        if position not in view.postings:
+                            self.stats.index_builds += 1
+                        postings.append(view.register_posting(position))
+                    step.postings = tuple(postings)
             elif step.positions:
                 index, built = database.register_index(
                     step.relation, step.positions
@@ -495,24 +734,28 @@ class Engine:
             else:
                 step.rel_set = database.relation_view(step.relation)
             for guard in step.guards:
-                self._bind_guard(database, guard)
-        variant.head_spec = tuple(
-            (True, value) if from_slot else (False, intern(value))
-            for from_slot, value in variant.head_spec
-        )
-        if all(not from_slot for from_slot, _ in variant.head_spec):
-            variant.static_head = tuple(
-                value for _, value in variant.head_spec
+                self._bind_guard(database, guard, intern_specs)
+        if intern_specs:
+            variant.head_spec = tuple(
+                (True, value) if from_slot else (False, intern(value))
+                for from_slot, value in variant.head_spec
             )
+            if all(not from_slot for from_slot, _ in variant.head_spec):
+                variant.static_head = tuple(
+                    value for _, value in variant.head_spec
+                )
 
-    def _bind_guard(self, database: Database, guard) -> None:
+    def _bind_guard(
+        self, database: Database, guard, intern_specs: bool = True
+    ) -> None:
         if isinstance(guard, NegGuard):
-            guard.key_spec = tuple(
-                (True, value)
-                if from_slot
-                else (False, database.intern_value(value))
-                for from_slot, value in guard.key_spec
-            )
+            if intern_specs:
+                guard.key_spec = tuple(
+                    (True, value)
+                    if from_slot
+                    else (False, database.intern_value(value))
+                    for from_slot, value in guard.key_spec
+                )
             guard.rel_set = database.relation_view(guard.relation)
         # FilterGuard constants stay raw: predicates see original values.
 
@@ -522,7 +765,13 @@ class Engine:
         plans: List[RulePlan],
         max_iterations: int,
         deadline=None,
+        runner=None,
     ) -> None:
+        if runner is None:
+            runner = (
+                self._run_variant_columnar if self.columnar
+                else self._run_variant
+            )
         stats = self.stats
         tracking = self.track_provenance
         heads = {plan.rule.head.relation for plan in plans}
@@ -543,7 +792,7 @@ class Engine:
         # Naive first round to seed deltas, then semi-naive iteration.
         delta: Dict[str, Set[Tuple]] = {rel: set() for rel in heads}
         for plan in plans:
-            flush(plan, self._run_variant(database, plan.seed, None, None), delta)
+            flush(plan, runner(database, plan.seed, None, None), delta)
 
         iterations = 0
         while any(delta.values()):
@@ -554,16 +803,14 @@ class Engine:
                 deadline.check()
             stats.iterations += 1
             new_delta: Dict[str, Set[Tuple]] = {rel: set() for rel in heads}
-            delta_index_cache: Dict[Tuple[str, Tuple[int, ...]], Dict] = {}
+            delta_index_cache: Dict = {}
             for plan in plans:
                 for variant in plan.delta_variants.values():
                     if not delta.get(variant.delta_relation):
                         continue
                     flush(
                         plan,
-                        self._run_variant(
-                            database, variant, delta, delta_index_cache
-                        ),
+                        runner(database, variant, delta, delta_index_cache),
                         new_delta,
                     )
             delta = new_delta
@@ -634,6 +881,286 @@ class Engine:
                 level -= 1
         return results
 
+    # ----------------------------------------------------- columnar executor
+
+    def _run_variant_columnar(
+        self,
+        database: Database,
+        variant: PlanVariant,
+        delta: Optional[Dict[str, Set[Tuple]]],
+        delta_index_cache: Optional[Dict],
+    ) -> List[Tuple[Tuple, list]]:
+        """Execute one bound plan variant block-wise.
+
+        The environment is a *batch*: parallel slot columns (plain int
+        lists) plus a row count.  Each join step extends the whole batch
+        at once — posting probes per distinct environment row, column
+        slicing to materialize the surviving rows — and intermediate
+        batches are deduplicated on their live slots, so redundant
+        derivation paths collapse early instead of multiplying.  Returns
+        the same ``(head fact, support)`` pairs as :meth:`_run_variant`;
+        fixpoints are byte-identical.
+        """
+        stats = self.stats
+        for guard in variant.prelude:
+            if not self._eval_guard(database, guard, ()):
+                return []
+        steps = variant.steps
+        if not steps:
+            return [(variant.static_head, [])]
+        tracking = self.track_provenance
+        stats.rule_batches[variant.key] = (
+            stats.rule_batches.get(variant.key, 0) + 1
+        )
+        n_slots = variant.n_slots
+        cols: List[Optional[list]] = [None] * n_slots
+        count = 1
+        # Provenance trails ride along as extra row-id columns, one per
+        # completed step, decoded against that step's source columns.
+        trail_cols: List[list] = []
+        trail_sources: List[Tuple[int, str, Sequence]] = []
+        last_step = steps[-1]
+        for step in steps:
+            stats.batches += 1
+            # A batch step issues one candidate fetch per environment row
+            # when keyed (count), one scan otherwise.
+            stats.join_probes += count if step.positions else 1
+            if step.delta:
+                src_cols, src_rows, src_postings = self._delta_columns(
+                    step, delta, delta_index_cache
+                )
+            else:
+                view = step.columnar
+                src_cols = view.columns
+                src_rows = view.rows
+                src_postings = step.postings
+            # ---- select (environment row, source row) pairs
+            positions = step.positions
+            sel_env: Optional[list]
+            if not positions:
+                if count == 1:
+                    sel_env = None
+                    sel_rid: Sequence[int] = range(src_rows)
+                else:
+                    sel_env = [
+                        i for i in range(count) for _ in range(src_rows)
+                    ]
+                    sel_rid = list(range(src_rows)) * count
+            elif step.static_key is not None:
+                stats.index_probes += 1
+                run = _probe_runs(src_postings, step.static_key)
+                if run is None:
+                    return []
+                stats.index_hits += 1
+                if count == 1:
+                    sel_env = None
+                    sel_rid = run
+                else:
+                    sel_env = [i for i in range(count) for _ in run]
+                    sel_rid = list(run) * count
+            elif len(positions) == 1:
+                posting_get = src_postings[0].get
+                keys = cols[step.key_spec[0][1]]
+                stats.index_probes += count
+                sel_env = []
+                sel_rid = []
+                extend_env = sel_env.extend
+                extend_rid = sel_rid.extend
+                hits = 0
+                for i, key in enumerate(keys):
+                    run = posting_get(key)
+                    if run:
+                        hits += 1
+                        extend_env(repeat(i, len(run)))
+                        extend_rid(run)
+                stats.index_hits += hits
+            else:
+                parts = [
+                    cols[value] if from_slot else repeat(value, count)
+                    for from_slot, value in step.key_spec
+                ]
+                stats.index_probes += count
+                sel_env = []
+                sel_rid = []
+                extend_env = sel_env.extend
+                extend_rid = sel_rid.extend
+                hits = 0
+                for i, key in enumerate(zip(*parts)):
+                    run = _probe_runs(src_postings, key)
+                    if run:
+                        hits += 1
+                        extend_env(repeat(i, len(run)))
+                        extend_rid(run)
+                stats.index_hits += hits
+            matched = len(sel_rid)
+            # ---- same-literal repeated-variable checks (column pairs)
+            if matched:
+                for position, out_position in step.check_pairs:
+                    left = src_cols[position]
+                    right = src_cols[out_position]
+                    keep = [
+                        j for j, r in enumerate(sel_rid) if left[r] == right[r]
+                    ]
+                    if len(keep) != matched:
+                        sel_rid = [sel_rid[j] for j in keep]
+                        if sel_env is not None:
+                            sel_env = [sel_env[j] for j in keep]
+                        matched = len(keep)
+                        if not matched:
+                            break
+            if not matched:
+                return []
+            stats.batch_rows += matched
+            # ---- materialize the surviving rows: carried live slots
+            #      (column slices) plus this step's new bindings
+            new_cols: List[Optional[list]] = [None] * n_slots
+            if sel_env is None:
+                for slot in step.live_after:
+                    col = cols[slot]
+                    if col is not None:
+                        new_cols[slot] = [col[0]] * matched
+                if tracking and trail_cols:
+                    trail_cols = [[tc[0]] * matched for tc in trail_cols]
+            else:
+                for slot in step.live_after:
+                    col = cols[slot]
+                    if col is not None:
+                        new_cols[slot] = [col[i] for i in sel_env]
+                if tracking and trail_cols:
+                    trail_cols = [
+                        [tc[i] for i in sel_env] for tc in trail_cols
+                    ]
+            live_set = set(step.live_after)
+            for position, slot in step.outs:
+                if slot in live_set:
+                    src = src_cols[position]
+                    new_cols[slot] = [src[r] for r in sel_rid]
+            if tracking:
+                trail_cols.append(list(sel_rid))
+                trail_sources.append((step.orig_index, step.relation, src_cols))
+            cols = new_cols
+            count = matched
+            # ---- guards prune whole batch rows
+            for guard in step.guards:
+                if guard.__class__ is NegGuard:
+                    rel_set = guard.rel_set
+                    parts = [
+                        cols[value] if from_slot else repeat(value, count)
+                        for from_slot, value in guard.key_spec
+                    ]
+                    keep = [
+                        j for j, probe in enumerate(zip(*parts))
+                        if probe not in rel_set
+                    ]
+                else:
+                    symbols = database._symbols
+                    predicate = guard.predicate
+                    arg_spec = guard.arg_spec
+                    keep = [
+                        j for j in range(count)
+                        if predicate(*[
+                            symbols[cols[value][j]] if from_slot else value
+                            for from_slot, value in arg_spec
+                        ])
+                    ]
+                if len(keep) != count:
+                    cols = [
+                        [col[j] for j in keep] if col is not None else None
+                        for col in cols
+                    ]
+                    if tracking:
+                        trail_cols = [
+                            [tc[j] for j in keep] for tc in trail_cols
+                        ]
+                    count = len(keep)
+                    if not count:
+                        return []
+            # ---- collapse duplicate rows on the live slots: redundant
+            #      derivation paths are indistinguishable downstream
+            #      (skipped when tracking, where trails differ per path)
+            if not tracking and count > 1 and step is not last_step:
+                live_cols = [col for col in cols if col is not None]
+                if not live_cols:
+                    count = 1
+                else:
+                    seen: Set = set()
+                    add = seen.add
+                    if len(live_cols) == 1:
+                        only = live_cols[0]
+                        keep = [
+                            j for j, value in enumerate(only)
+                            if value not in seen and not add(value)
+                        ]
+                    else:
+                        keep = [
+                            j for j, row in enumerate(zip(*live_cols))
+                            if row not in seen and not add(row)
+                        ]
+                    if len(keep) != count:
+                        cols = [
+                            [col[j] for j in keep] if col is not None else None
+                            for col in cols
+                        ]
+                        count = len(keep)
+        # ---- emit head facts (and per-row supports when tracking)
+        static_head = variant.static_head
+        if static_head is not None:
+            heads: Iterable[Tuple] = repeat(static_head, 1 if not tracking else count)
+        else:
+            parts = [
+                cols[value] if from_slot else repeat(value, count)
+                for from_slot, value in variant.head_spec
+            ]
+            heads = zip(*parts)
+        if not tracking:
+            return [(head, []) for head in heads]
+        results: List[Tuple[Tuple, list]] = []
+        for j, head in enumerate(heads):
+            support = [
+                (orig_index, relation, tuple(col[tc[j]] for col in src))
+                for (orig_index, relation, src), tc in zip(
+                    trail_sources, trail_cols
+                )
+            ]
+            results.append((head, support))
+        return results
+
+    def _delta_columns(
+        self, step, delta: Dict[str, Set[Tuple]], cache: Dict
+    ) -> Tuple[Sequence, int, Optional[List[Dict[int, list]]]]:
+        """Columnar view of a per-round delta set, cached per round: the
+        delta's facts as parallel columns plus per-position postings for
+        the positions this step probes."""
+        relation = step.relation
+        entry = cache.get(relation)
+        if entry is None:
+            facts = delta.get(relation, ())
+            if facts:
+                columns: Sequence = list(zip(*facts))
+                rows = len(facts)
+            else:
+                columns = [() for _ in range(step.arity)]
+                rows = 0
+            entry = cache[relation] = (columns, rows, {})
+        columns, rows, postings_by_position = entry
+        if not step.positions:
+            return columns, rows, None
+        postings = []
+        for position in step.positions:
+            posting = postings_by_position.get(position)
+            if posting is None:
+                posting = {}
+                for row, key in enumerate(columns[position]):
+                    run = posting.get(key)
+                    if run is None:
+                        posting[key] = [row]
+                    else:
+                        run.append(row)
+                postings_by_position[position] = posting
+                self.stats.delta_index_builds += 1
+            postings.append(posting)
+        return columns, rows, postings
+
     def _candidates(
         self,
         step,
@@ -695,6 +1222,413 @@ class Engine:
             for from_slot, value in guard.arg_spec
         ]
         return bool(guard.predicate(*values))
+
+    # ------------------------------------------- incremental (DRed) repair
+
+    def apply_changes(
+        self,
+        additions: Optional[Dict[str, Iterable[Iterable]]] = None,
+        retractions: Optional[Dict[str, Iterable[Iterable]]] = None,
+        max_iterations: int = 1_000_000,
+        deadline=None,
+    ) -> Database:
+        """Apply EDB additions/retractions after an :meth:`evaluate` and
+        incrementally repair the IDB (delete-and-rederive).
+
+        Retractions must name facts that were explicitly added (EDB facts
+        of the last evaluation, or earlier ``apply_changes`` additions) —
+        retracting a derived fact raises :class:`ValueError`.  Per
+        stratum, the repair runs DRed: an overdeletion fixpoint marks
+        everything derivable from a deleted fact, a one-step rederivation
+        restores facts with surviving alternative proofs, and a
+        semi-naive insertion pass propagates additions.  Strata whose
+        *negated* dependencies changed are recomputed from scratch
+        instead (DRed cannot reason through negation).  Provenance stays
+        consistent: overdeletion pops the proofs of every fact whose
+        recorded premises died, and rederivation records fresh ones.
+
+        Returns the repaired database (the same object ``evaluate`` ran
+        on); the fixpoint is identical to a cold re-evaluation of the
+        mutated EDB.
+        """
+        database = self._inc_db
+        if database is None:
+            raise RuntimeError(
+                "apply_changes() needs a prior evaluate() on a compiled "
+                "engine (use_plans=True)"
+            )
+        stats = self.stats
+        stats.incremental_applies += 1
+        edb = self._inc_edb
+        tracking = self.track_provenance
+        all_heads: Set[str] = set()
+        for heads in self._stratum_heads:
+            all_heads |= heads
+
+        # ---- normalize the change set against the EDB bookkeeping
+        retract: Dict[str, Set[Tuple[int, ...]]] = {}
+        for relation, facts in (retractions or {}).items():
+            known = edb.get(relation, set())
+            interned: Set[Tuple[int, ...]] = set()
+            for fact in facts:
+                ifact = self._intern_known(database, fact)
+                if ifact is None or ifact not in known:
+                    raise ValueError(
+                        "cannot retract %s%r: not an explicitly added "
+                        "(EDB) fact" % (relation, tuple(fact))
+                    )
+                interned.add(ifact)
+            if interned:
+                retract[relation] = interned
+        insert: Dict[str, Set[Tuple[int, ...]]] = {}
+        for relation, facts in (additions or {}).items():
+            interned = {
+                tuple(database.intern_value(value) for value in fact)
+                for fact in facts
+            }
+            if interned:
+                insert[relation] = interned
+        for relation in list(insert):
+            gone = retract.get(relation)
+            if gone:
+                # Retract + re-add of the same fact cancels out.
+                both = insert[relation] & gone
+                insert[relation] -= both
+                gone -= both
+                if not gone:
+                    del retract[relation]
+            existing = edb.get(relation)
+            if existing:
+                insert[relation] -= existing  # re-adding EDB facts: no-op
+            if not insert[relation]:
+                del insert[relation]
+
+        for relation, facts in retract.items():
+            edb[relation] -= facts
+        for relation, facts in insert.items():
+            edb.setdefault(relation, set()).update(facts)
+
+        # ---- net changesets, accumulated stratum by stratum
+        changes_add: Dict[str, Set[Tuple[int, ...]]] = {}
+        changes_rem: Dict[str, Set[Tuple[int, ...]]] = {}
+        for relation, facts in insert.items():
+            new: Set[Tuple[int, ...]] = set()
+            for fact in facts:
+                if database._add_interned(relation, fact):
+                    new.add(fact)
+                elif tracking:
+                    # The fact already existed as a derived fact; now that
+                    # it is explicitly added it is EDB, and a cold engine
+                    # would record no proof for it.
+                    self.provenance.pop(
+                        (relation, database.decode(fact)), None
+                    )
+            if new:
+                changes_add[relation] = new
+        # Retractions on relations no rule derives leave immediately; on
+        # head relations the owning stratum's overdeletion decides (the
+        # fact may have surviving derivations).
+        pending_retract: Dict[str, Set[Tuple[int, ...]]] = {}
+        for relation, facts in retract.items():
+            if relation in all_heads:
+                pending_retract[relation] = set(facts)
+            else:
+                removed = {
+                    fact for fact in facts
+                    if database.remove_interned(relation, fact)
+                }
+                if removed:
+                    changes_rem[relation] = removed
+                    stats.retracted_facts += len(removed)
+        if not changes_add and not changes_rem and not pending_retract:
+            return database
+
+        plans = self._incremental_plans(database)
+        for level, stratum_plans in enumerate(plans):
+            heads = self._stratum_heads[level]
+            reads_pos = self._stratum_pos[level]
+            reads_neg = self._stratum_neg[level]
+            stratum_pending = {
+                relation: pending_retract.pop(relation)
+                for relation in list(pending_retract)
+                if relation in heads
+            }
+            if any(
+                changes_add.get(relation) or changes_rem.get(relation)
+                for relation in reads_neg
+            ):
+                self._recompute_stratum(
+                    database, level, stratum_plans,
+                    changes_add, changes_rem, max_iterations, deadline,
+                )
+                continue
+            touched = stratum_pending or any(
+                changes_add.get(relation) or changes_rem.get(relation)
+                for relation in (reads_pos | heads)
+            )
+            if not touched:
+                continue
+            self._dred_stratum(
+                database, stratum_plans, heads, reads_pos, stratum_pending,
+                changes_add, changes_rem, max_iterations, deadline,
+            )
+        return database
+
+    @staticmethod
+    def _intern_known(database: Database, fact: Iterable) -> Optional[Tuple[int, ...]]:
+        """Interned form of ``fact`` if every value is already known."""
+        intern = database._intern
+        out: List[int] = []
+        for value in fact:
+            ident = intern.get(value)
+            if ident is None:
+                return None
+            out.append(ident)
+        return tuple(out)
+
+    def _incremental_plans(self, database: Database) -> List[List[RulePlan]]:
+        """Repair plans: delta variants for *every* positive body position
+        (changes arrive in any relation), bound once to the database with
+        hash indexes — repair always runs the tuple executor, because
+        removals invalidate columnar row ids mid-flight."""
+        plans = self._inc_plans
+        if plans is None:
+            plans = compile_strata(
+                self.strata, size_of=database.count, all_deltas=True
+            )
+            for stratum_plans in plans:
+                for plan in stratum_plans:
+                    for variant in plan.variants():
+                        self._bind_variant(database, variant, columnar=False)
+            self._inc_plans = plans
+        return plans
+
+    def _dred_stratum(
+        self,
+        database: Database,
+        plans: List[RulePlan],
+        heads: Set[str],
+        reads_pos: Set[str],
+        pending_retract: Dict[str, Set[Tuple[int, ...]]],
+        changes_add: Dict[str, Set[Tuple[int, ...]]],
+        changes_rem: Dict[str, Set[Tuple[int, ...]]],
+        max_iterations: int,
+        deadline=None,
+    ) -> None:
+        stats = self.stats
+        tracking = self.track_provenance
+        edb = self._inc_edb
+
+        # ---- overdeletion fixpoint: mark everything derivable from a
+        #      deleted fact.  Joins must see the pre-deletion database, so
+        #      facts already removed by lower strata are resurrected for
+        #      the duration and marked facts stay in place until the end.
+        overdeleted: Dict[str, Set[Tuple[int, ...]]] = {}
+        round_delta: Dict[str, Set[Tuple[int, ...]]] = {}
+        resurrected: List[Tuple[str, Tuple[int, ...]]] = []
+        for relation in reads_pos:
+            if relation in heads:
+                continue
+            gone = changes_rem.get(relation)
+            if gone:
+                for fact in gone:
+                    if database._add_interned(relation, fact):
+                        resurrected.append((relation, fact))
+                round_delta[relation] = set(gone)
+        for relation, facts in pending_retract.items():
+            present = database._relations.get(relation, ())
+            marked = {fact for fact in facts if fact in present}
+            if marked:
+                overdeleted[relation] = set(marked)
+                round_delta.setdefault(relation, set()).update(marked)
+        iterations = 0
+        while round_delta:
+            iterations += 1
+            if iterations > max_iterations:
+                raise RuntimeError("overdeletion did not converge")
+            if deadline is not None:
+                deadline.check()
+            delta_index_cache: Dict = {}
+            new_round: Dict[str, Set[Tuple[int, ...]]] = {}
+            for plan in plans:
+                relation = plan.rule.head.relation
+                rel_view = database._relations.get(relation, ())
+                rel_edb = edb.get(relation, ())
+                for variant in plan.delta_variants.values():
+                    if not round_delta.get(variant.delta_relation):
+                        continue
+                    for head_fact, _support in self._run_variant(
+                        database, variant, round_delta, delta_index_cache
+                    ):
+                        if (
+                            head_fact not in rel_view
+                            or head_fact in rel_edb
+                        ):
+                            continue
+                        marked = overdeleted.get(relation)
+                        if marked is None:
+                            marked = overdeleted[relation] = set()
+                        if head_fact not in marked:
+                            marked.add(head_fact)
+                            new_round.setdefault(relation, set()).add(
+                                head_fact
+                            )
+            round_delta = new_round
+        for relation, facts in overdeleted.items():
+            stats.overdeleted_facts += len(facts)
+            for fact in facts:
+                database.remove_interned(relation, fact)
+                if tracking:
+                    self.provenance.pop(
+                        (relation, database.decode(fact)), None
+                    )
+        for relation, fact in resurrected:
+            database.remove_interned(relation, fact)
+
+        # ---- rederivation: one step over the repaired database restores
+        #      overdeleted facts that still have an alternative proof
+        #      (recursive consequences return via insertion propagation)
+        added_back: Dict[str, Set[Tuple[int, ...]]] = {}
+        if overdeleted:
+            for plan in plans:
+                relation = plan.rule.head.relation
+                candidates = overdeleted.get(relation)
+                if not candidates:
+                    continue
+                matches = self._run_variant(database, plan.seed, None, None)
+                derived = 0
+                for head_fact, support in matches:
+                    if database._add_interned(relation, head_fact):
+                        derived += 1
+                        if tracking:
+                            self._record_interned(
+                                database, plan.rule, head_fact, support
+                            )
+                        added_back.setdefault(relation, set()).add(head_fact)
+                        if head_fact in candidates:
+                            stats.rederived_facts += 1
+                if matches:
+                    stats.count_rule(plan.key, len(matches), derived)
+
+        # ---- insertion propagation: semi-naive over the delta variants,
+        #      seeded by upstream additions and rederived facts
+        ins_delta: Dict[str, Set[Tuple[int, ...]]] = {}
+        for relation in reads_pos | heads:
+            gained = changes_add.get(relation)
+            if gained:
+                ins_delta[relation] = set(gained)
+        added_net: Dict[str, Set[Tuple[int, ...]]] = {}
+        for relation, facts in added_back.items():
+            ins_delta.setdefault(relation, set()).update(facts)
+            added_net[relation] = set(facts)
+        iterations = 0
+        while ins_delta:
+            iterations += 1
+            if iterations > max_iterations:
+                raise RuntimeError("insertion propagation did not converge")
+            if deadline is not None:
+                deadline.check()
+            delta_index_cache = {}
+            new_delta: Dict[str, Set[Tuple[int, ...]]] = {}
+            for plan in plans:
+                relation = plan.rule.head.relation
+                for variant in plan.delta_variants.values():
+                    if not ins_delta.get(variant.delta_relation):
+                        continue
+                    matches = self._run_variant(
+                        database, variant, ins_delta, delta_index_cache
+                    )
+                    derived = 0
+                    for head_fact, support in matches:
+                        if database._add_interned(relation, head_fact):
+                            derived += 1
+                            if tracking:
+                                self._record_interned(
+                                    database, plan.rule, head_fact, support
+                                )
+                            new_delta.setdefault(relation, set()).add(
+                                head_fact
+                            )
+                            added_net.setdefault(relation, set()).add(
+                                head_fact
+                            )
+                    if matches:
+                        stats.count_rule(plan.key, len(matches), derived)
+                        if derived:
+                            stats.delta_derived_facts += derived
+                            stats.rule_delta_derivations[plan.key] = (
+                                stats.rule_delta_derivations.get(plan.key, 0)
+                                + derived
+                            )
+            ins_delta = new_delta
+
+        # ---- fold this stratum's net effect into the global changesets
+        for relation in heads:
+            over = overdeleted.get(relation, set())
+            added = added_net.get(relation, set())
+            present = database._relations.get(relation, ())
+            net_removed = {fact for fact in over if fact not in present}
+            net_added = added - over
+            if net_removed:
+                changes_rem.setdefault(relation, set()).update(net_removed)
+                stats.retracted_facts += len(net_removed)
+            if net_added:
+                changes_add.setdefault(relation, set()).update(net_added)
+
+    def _recompute_stratum(
+        self,
+        database: Database,
+        level: int,
+        plans: List[RulePlan],
+        changes_add: Dict[str, Set[Tuple[int, ...]]],
+        changes_rem: Dict[str, Set[Tuple[int, ...]]],
+        max_iterations: int,
+        deadline=None,
+    ) -> None:
+        """Fallback when a stratum's negated dependency changed: clear the
+        stratum's derived facts and rerun its fixpoint, then diff old vs
+        new into the global changesets."""
+        stats = self.stats
+        stats.strata_recomputed += 1
+        tracking = self.track_provenance
+        edb = self._inc_edb
+        heads = self._stratum_heads[level]
+        old: Dict[str, Set[Tuple[int, ...]]] = {}
+        for relation in heads:
+            current = database._relations.get(relation, set())
+            old[relation] = set(current)
+            keep = edb.get(relation, ())
+            for fact in list(current):
+                if fact not in keep:
+                    database.remove_interned(relation, fact)
+                    if tracking:
+                        self.provenance.pop(
+                            (relation, database.decode(fact)), None
+                        )
+        runner = self._run_variant
+        if self.columnar:
+            # Removals dropped the affected columnar views; re-binding
+            # rebuilds them from the cleared store, so the recompute runs
+            # on the batch executor.  The hash indexes the tuple executor
+            # binds are maintained through removals, so the DRed passes
+            # can keep using these same variants afterwards.
+            for plan in plans:
+                for variant in plan.variants():
+                    self._bind_variant(database, variant, columnar=True)
+            runner = self._run_variant_columnar
+        self._evaluate_stratum_compiled(
+            database, plans, max_iterations, deadline, runner=runner
+        )
+        for relation in heads:
+            new = database._relations.get(relation, set())
+            before = old[relation]
+            net_added = new - before
+            net_removed = before - new
+            if net_added:
+                changes_add.setdefault(relation, set()).update(net_added)
+            if net_removed:
+                changes_rem.setdefault(relation, set()).update(net_removed)
+                stats.retracted_facts += len(net_removed)
 
     # ------------------------------------------------------- legacy executor
 

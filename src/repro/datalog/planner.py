@@ -58,6 +58,17 @@ class EngineStats:
     ``join_probes`` counts candidate-source fetches (index probes plus
     relation/delta scans), ``index_hits`` the full-relation index probes
     that returned at least one candidate.
+
+    The columnar executor fills ``batches`` (join steps executed
+    block-wise), ``batch_rows`` (rows surviving each step), and
+    ``rule_batches`` (batch executions per rule).  Incremental repair
+    (:meth:`~repro.datalog.engine.Engine.apply_changes`) fills
+    ``incremental_applies``, ``overdeleted_facts``/``rederived_facts``
+    (the DRed delete/restore pair), ``delta_derived_facts`` and
+    ``rule_delta_derivations`` (facts added by delta propagation, per
+    rule), ``retracted_facts`` (net facts leaving the database), and
+    ``strata_recomputed`` (strata that fell back to a from-scratch rerun
+    because a negated dependency changed).
     """
 
     evaluations: int = 0
@@ -70,8 +81,18 @@ class EngineStats:
     index_hits: int = 0
     index_builds: int = 0
     delta_index_builds: int = 0
+    batches: int = 0
+    batch_rows: int = 0
+    incremental_applies: int = 0
+    overdeleted_facts: int = 0
+    rederived_facts: int = 0
+    delta_derived_facts: int = 0
+    retracted_facts: int = 0
+    strata_recomputed: int = 0
     rule_derivations: Dict[str, int] = field(default_factory=dict)
     rule_matches: Dict[str, int] = field(default_factory=dict)
+    rule_batches: Dict[str, int] = field(default_factory=dict)
+    rule_delta_derivations: Dict[str, int] = field(default_factory=dict)
 
     def count_rule(self, rule_key: str, matches: int, derived: int) -> None:
         """Fold one plan execution's per-rule counters in."""
@@ -88,30 +109,18 @@ class EngineStats:
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready snapshot (per-rule maps sorted by count, descending)."""
-        return {
-            "evaluations": self.evaluations,
-            "iterations": self.iterations,
-            "stratum_iterations": list(self.stratum_iterations),
-            "derived_facts": self.derived_facts,
-            "matches": self.matches,
-            "join_probes": self.join_probes,
-            "index_probes": self.index_probes,
-            "index_hits": self.index_hits,
-            "index_builds": self.index_builds,
-            "delta_index_builds": self.delta_index_builds,
-            "rule_derivations": dict(
-                sorted(
-                    self.rule_derivations.items(),
-                    key=lambda item: (-item[1], item[0]),
-                )
-            ),
-            "rule_matches": dict(
-                sorted(
-                    self.rule_matches.items(),
-                    key=lambda item: (-item[1], item[0]),
-                )
-            ),
-        }
+        def ranked(counter: Dict[str, int]) -> Dict[str, int]:
+            return dict(
+                sorted(counter.items(), key=lambda item: (-item[1], item[0]))
+            )
+
+        payload = self.scalar_counters()
+        payload["stratum_iterations"] = list(self.stratum_iterations)
+        payload["rule_derivations"] = ranked(self.rule_derivations)
+        payload["rule_matches"] = ranked(self.rule_matches)
+        payload["rule_batches"] = ranked(self.rule_batches)
+        payload["rule_delta_derivations"] = ranked(self.rule_delta_derivations)
+        return payload
 
     def scalar_counters(self) -> Dict[str, int]:
         """The flat integer counters only (batch summaries, CI artifacts)."""
@@ -125,6 +134,14 @@ class EngineStats:
             "index_hits": self.index_hits,
             "index_builds": self.index_builds,
             "delta_index_builds": self.delta_index_builds,
+            "batches": self.batches,
+            "batch_rows": self.batch_rows,
+            "incremental_applies": self.incremental_applies,
+            "overdeleted_facts": self.overdeleted_facts,
+            "rederived_facts": self.rederived_facts,
+            "delta_derived_facts": self.delta_derived_facts,
+            "retracted_facts": self.retracted_facts,
+            "strata_recomputed": self.strata_recomputed,
         }
 
 
@@ -141,7 +158,14 @@ class JoinStep:
     """One positive body literal, compiled: where its candidates come from
     (full relation or delta, scan or index probe) and how a candidate fact
     extends the environment (``outs``) or is checked against it
-    (``checks``)."""
+    (``checks``).
+
+    The columnar executor additionally uses ``arity`` (to shape delta
+    columns), ``check_pairs`` (same-literal repeated-variable checks as
+    column-pair comparisons), ``live_after`` (the slots worth
+    materializing after this step — everything later steps, guards, or
+    the head still read), and the bound ``columnar``/``postings``
+    references into the database's column store."""
 
     __slots__ = (
         "relation",
@@ -151,10 +175,15 @@ class JoinStep:
         "static_key",
         "outs",
         "checks",
+        "check_pairs",
         "guards",
         "orig_index",
+        "arity",
+        "live_after",
         "rel_set",
         "index",
+        "columnar",
+        "postings",
     )
 
     def __init__(
@@ -166,6 +195,8 @@ class JoinStep:
         outs: Tuple[Tuple[int, int], ...],
         checks: Tuple[Tuple[int, int], ...],
         orig_index: int,
+        arity: int = 0,
+        check_pairs: Tuple[Tuple[int, int], ...] = (),
     ):
         self.relation = relation
         self.delta = delta
@@ -174,11 +205,16 @@ class JoinStep:
         self.static_key: Optional[Tuple] = None
         self.outs = outs
         self.checks = checks
+        self.check_pairs = check_pairs
         self.guards: Tuple[Any, ...] = ()
         self.orig_index = orig_index
+        self.arity = arity
+        self.live_after: Tuple[int, ...] = ()
         # Bound per evaluation: direct references into the database.
         self.rel_set: Optional[Set[Tuple]] = None
         self.index: Optional[Dict[Tuple, List[Tuple]]] = None
+        self.columnar: Optional[Any] = None
+        self.postings: Optional[Tuple[Dict[int, Any], ...]] = None
 
     def __repr__(self) -> str:
         source = "Δ" if self.delta else ""
@@ -226,6 +262,7 @@ class PlanVariant:
 
     __slots__ = (
         "rule",
+        "key",
         "delta_position",
         "delta_relation",
         "prelude",
@@ -234,6 +271,7 @@ class PlanVariant:
         "head_spec",
         "static_head",
         "n_slots",
+        "bound_db",
     )
 
     def __init__(
@@ -246,6 +284,7 @@ class PlanVariant:
         n_slots: int,
     ):
         self.rule = rule
+        self.key: Optional[str] = None  # set by RulePlan (shared repr)
         self.delta_position = delta_position
         self.delta_relation: Optional[str] = None
         if delta_position is not None:
@@ -256,6 +295,9 @@ class PlanVariant:
         self.head_spec = head_spec
         self.static_head: Optional[Tuple] = None
         self.n_slots = n_slots
+        # Which database this variant's specs were interned against;
+        # binding is idempotent per database (see Engine._bind_variant).
+        self.bound_db: Optional[Any] = None
 
     def order(self) -> List[str]:
         """Relation names in execution order (tests / debugging)."""
@@ -284,6 +326,9 @@ class RulePlan:
         self.key = repr(rule)
         self.seed = seed
         self.delta_variants = delta_variants
+        seed.key = self.key
+        for variant in delta_variants.values():
+            variant.key = self.key
 
     def variants(self) -> List[PlanVariant]:
         """Every variant (seed first)."""
@@ -452,7 +497,9 @@ def compile_variant(
         key_spec: List[Tuple[bool, Any]] = []
         outs: List[Tuple[int, int]] = []
         checks: List[Tuple[int, int]] = []
+        check_pairs: List[Tuple[int, int]] = []
         new_here: Set[Variable] = set()
+        out_position_of: Dict[int, int] = {}
         for position, arg in enumerate(literal.atom.args):
             if isinstance(arg, Variable):
                 if arg.is_wildcard:
@@ -462,10 +509,14 @@ def compile_variant(
                     slot = slot_of[arg] = len(slot_of)
                     new_here.add(arg)
                     outs.append((position, slot))
+                    out_position_of[slot] = position
                 elif arg in new_here:
                     # Repeated occurrence bound earlier in this same
-                    # literal: compare, don't probe.
+                    # literal: compare, don't probe.  ``check_pairs``
+                    # records the same comparison as a column pair for
+                    # the batch executor.
                     checks.append((position, slot))
+                    check_pairs.append((position, out_position_of[slot]))
                 else:
                     positions.append(position)
                     key_spec.append((True, slot))
@@ -480,6 +531,8 @@ def compile_variant(
             outs=tuple(outs),
             checks=tuple(checks),
             orig_index=orig_index,
+            arity=literal.atom.arity,
+            check_pairs=tuple(check_pairs),
         )
         step.guards = tuple(
             _compile_guard(item, guard_index, slot_of)
@@ -506,6 +559,7 @@ def compile_variant(
         else:
             head_spec.append((False, arg))
 
+    _assign_live_slots(steps, tuple(head_spec))
     return PlanVariant(
         rule=rule,
         delta_position=delta_position,
@@ -514,6 +568,34 @@ def compile_variant(
         head_spec=tuple(head_spec),
         n_slots=len(slot_of),
     )
+
+
+def _guard_slots(guard: Any) -> Set[int]:
+    """Environment slots a compiled guard reads."""
+    spec = guard.key_spec if isinstance(guard, NegGuard) else guard.arg_spec
+    return {value for from_slot, value in spec if from_slot}
+
+
+def _assign_live_slots(steps: List[JoinStep], head_spec: Spec) -> None:
+    """Backward liveness pass for the batch executor: ``live_after`` of a
+    step is every slot that a later step's key/guards or the head still
+    reads, restricted to slots actually bound by then — the batch
+    materializes exactly these columns and drops the rest."""
+    needed: Set[int] = {value for from_slot, value in head_spec if from_slot}
+    live: List[Set[int]] = [set()] * len(steps)
+    for index in range(len(steps) - 1, -1, -1):
+        step = steps[index]
+        wanted = set(needed)
+        for guard in step.guards:
+            wanted |= _guard_slots(guard)
+        live[index] = wanted
+        out_slots = {slot for _, slot in step.outs}
+        key_slots = {value for from_slot, value in step.key_spec if from_slot}
+        needed = (wanted - out_slots) | key_slots
+    bound: Set[int] = set()
+    for index, step in enumerate(steps):
+        bound |= {slot for _, slot in step.outs}
+        step.live_after = tuple(sorted(live[index] & bound))
 
 
 def compile_rule(
@@ -540,13 +622,28 @@ def compile_rule(
 def compile_strata(
     strata: Sequence[Sequence[Rule]],
     size_of: Optional[Callable[[str], int]] = None,
+    all_deltas: bool = False,
 ) -> List[List[RulePlan]]:
     """Compile every rule of every stratum; delta variants are generated
-    for body literals recursive within their stratum."""
+    for body literals recursive within their stratum.
+
+    With ``all_deltas=True`` every positive body literal gets a delta
+    variant, not just same-stratum recursive ones — the shape DRed
+    incremental maintenance needs, where changes can arrive in *any*
+    body relation (EDB or lower-stratum IDB)."""
     plans: List[List[RulePlan]] = []
     for stratum in strata:
         heads = {rule.head.relation for rule in stratum}
-        plans.append(
-            [compile_rule(rule, heads, size_of) for rule in stratum]
-        )
+        stratum_plans: List[RulePlan] = []
+        for rule in stratum:
+            if all_deltas:
+                delta_relations = {
+                    item.atom.relation
+                    for item in rule.body
+                    if isinstance(item, Literal) and not item.negated
+                }
+            else:
+                delta_relations = heads
+            stratum_plans.append(compile_rule(rule, delta_relations, size_of))
+        plans.append(stratum_plans)
     return plans

@@ -132,6 +132,55 @@ class TestEngineFlag:
         assert main(["analyze", "--source", victim_file, "--engine", "datalog"]) == 1
         assert "accessible-selfdestruct" in capsys.readouterr().out
 
+    def test_columnar_engine_flag(self, victim_file, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                ["analyze", "--source", victim_file, "--engine", "datalog-columnar"]
+            )
+            == 1
+        )
+        assert "accessible-selfdestruct" in capsys.readouterr().out
+
+    def test_help_enumerates_engine_choices(self, capsys):
+        import pytest
+
+        from repro.cli import main
+        from repro.core.pipeline import ENGINE_CHOICES
+
+        for command in ("analyze", "sweep"):
+            with pytest.raises(SystemExit) as excinfo:
+                main([command, "--help"])
+            assert excinfo.value.code == 0
+            # argparse re-wraps help text; compare on collapsed whitespace.
+            output = " ".join(capsys.readouterr().out.split())
+            for name, description in ENGINE_CHOICES.items():
+                assert name in output
+                assert description in output
+
+    def test_unknown_engine_fails_naming_valid_set(self, victim_file, capsys):
+        import pytest
+
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["analyze", "--source", victim_file, "--engine", "sqlite"])
+        assert excinfo.value.code == 2
+        errors = capsys.readouterr().err
+        assert "invalid choice: 'sqlite'" in errors
+        for name in ("python", "datalog", "datalog-columnar", "datalog-legacy"):
+            assert name in errors
+
+    def test_unknown_engine_config_raises_clear_error(self):
+        import pytest
+
+        from repro import api
+        from repro.core.pipeline import UnknownEngineError
+
+        with pytest.raises(UnknownEngineError, match="datalog-columnar"):
+            api.analyze(b"\x00", api.AnalysisConfig(engine="sqlite"))
+
 
 class TestLintRules:
     def test_shipped_rules_pass(self, capsys):

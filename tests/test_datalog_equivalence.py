@@ -1,6 +1,8 @@
-"""Randomized equivalence: naive, semi-naive, and compiled-plan evaluation
-must produce identical fixpoints on generated stratified programs (and the
-same provenance coverage when tracking is on)."""
+"""Randomized equivalence: naive, semi-naive, compiled-plan, and columnar
+evaluation must produce identical fixpoints on generated stratified
+programs (and the same provenance coverage when tracking is on); DRed
+incremental repair after random EDB add/retract batches must match a
+from-scratch fixpoint over the mutated EDB."""
 
 from hypothesis import given, settings, strategies as st
 
@@ -94,9 +96,11 @@ def _naive(rules, facts) -> Database:
     return database
 
 
-def _semi_naive(rules, facts, use_plans, track=False):
+def _semi_naive(rules, facts, use_plans, track=False, columnar=None):
     database = _load(facts)
-    engine = Engine(rules, track_provenance=track, use_plans=use_plans)
+    engine = Engine(
+        rules, track_provenance=track, use_plans=use_plans, columnar=columnar
+    )
     engine.evaluate(database)
     return database, engine
 
@@ -111,23 +115,29 @@ def _snapshot(database: Database):
 class TestEngineEquivalence:
     @given(_program())
     @settings(max_examples=60, deadline=None)
-    def test_three_evaluation_modes_agree(self, program):
+    def test_four_evaluation_modes_agree(self, program):
         rules, facts = program
         reference = _snapshot(_naive(rules, facts))
         legacy_db, _ = _semi_naive(rules, facts, use_plans=False)
         compiled_db, _ = _semi_naive(rules, facts, use_plans=True)
+        columnar_db, _ = _semi_naive(rules, facts, use_plans=True, columnar=True)
         assert _snapshot(legacy_db) == reference
         assert _snapshot(compiled_db) == reference
+        assert _snapshot(columnar_db) == reference
 
     @given(_program())
     @settings(max_examples=40, deadline=None)
     def test_provenance_coverage_matches(self, program):
-        """Both engines record a first derivation for exactly the derived
+        """Every engine records a first derivation for exactly the derived
         (IDB) facts; trees may differ, coverage may not."""
         rules, facts = program
         legacy_db, legacy = _semi_naive(rules, facts, use_plans=False, track=True)
         compiled_db, compiled = _semi_naive(rules, facts, use_plans=True, track=True)
+        _, columnar = _semi_naive(
+            rules, facts, use_plans=True, track=True, columnar=True
+        )
         assert set(legacy.provenance) == set(compiled.provenance)
+        assert set(columnar.provenance) == set(compiled.provenance)
         derived = {
             (relation, fact)
             for relation in IDB_ARITY
@@ -146,3 +156,101 @@ class TestEngineEquivalence:
         )
         assert engine.stats.derived_facts == derived
         assert sum(engine.stats.rule_derivations.values()) == derived
+
+
+@st.composite
+def _program_with_changes(draw):
+    """A program plus 1-3 EDB change batches (additions and retraction
+    picks; picks index into the then-current EDB at apply time)."""
+    rules, facts = draw(_program())
+    batches = []
+    for _ in range(draw(st.integers(1, 3))):
+        additions = {}
+        for relation, arity in EDB_ARITY.items():
+            additions[relation] = draw(
+                st.lists(
+                    st.tuples(*[st.sampled_from(CONSTANTS)] * arity),
+                    max_size=4,
+                )
+            )
+        picks = draw(st.lists(st.integers(0, 10_000), max_size=5))
+        batches.append((additions, picks))
+    return rules, facts, batches
+
+
+class TestIncrementalEquivalence:
+    """DRed repair after random EDB mutation must match a from-scratch
+    fixpoint over the mutated EDB — fact-for-fact, and (when tracking)
+    provenance-coverage-for-coverage."""
+
+    def _run(self, program, columnar, track=False):
+        rules, facts, batches = program
+        edb = {
+            relation: set(rows)
+            for relation, rows in facts.items()
+        }
+        database = _load(facts)
+        engine = Engine(
+            rules, track_provenance=track, use_plans=True, columnar=columnar
+        )
+        engine.evaluate(database)
+        for additions, picks in batches:
+            pool = sorted(
+                (
+                    (relation, fact)
+                    for relation, rows in edb.items()
+                    for fact in rows
+                ),
+                key=repr,
+            )
+            added = {
+                relation: set(rows) for relation, rows in additions.items()
+            }
+            retracted = {}
+            for pick in picks:
+                if not pool:
+                    break
+                relation, fact = pool[pick % len(pool)]
+                if fact in added.get(relation, ()):
+                    continue  # keep batches unambiguous: no add+retract
+                retracted.setdefault(relation, set()).add(fact)
+            engine.apply_changes(additions=added, retractions=retracted)
+            for relation, rows in added.items():
+                edb[relation] |= rows
+            for relation, rows in retracted.items():
+                edb[relation] -= rows
+        cold_db, cold = _semi_naive(
+            rules,
+            {relation: sorted(rows, key=repr) for relation, rows in edb.items()},
+            use_plans=True,
+            track=track,
+        )
+        return database, engine, cold_db, cold
+
+    @given(_program_with_changes())
+    @settings(max_examples=40, deadline=None)
+    def test_compiled_repair_matches_cold_fixpoint(self, program):
+        database, _, cold_db, _ = self._run(program, columnar=False)
+        assert _snapshot(database) == _snapshot(cold_db)
+
+    @given(_program_with_changes())
+    @settings(max_examples=40, deadline=None)
+    def test_columnar_repair_matches_cold_fixpoint(self, program):
+        database, _, cold_db, _ = self._run(program, columnar=True)
+        assert _snapshot(database) == _snapshot(cold_db)
+
+    @given(_program_with_changes())
+    @settings(max_examples=25, deadline=None)
+    def test_repair_preserves_provenance_coverage(self, program):
+        """After repair the warm engine explains exactly the facts a cold
+        tracking engine derives — nothing stale, nothing missing."""
+        database, engine, cold_db, cold = self._run(
+            program, columnar=False, track=True
+        )
+        assert set(engine.provenance) == set(cold.provenance)
+        derived = {
+            (relation, fact)
+            for relation in IDB_ARITY
+            for fact in cold_db.facts(relation)
+        }
+        assert set(engine.provenance) == derived
