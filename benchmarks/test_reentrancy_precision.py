@@ -1,0 +1,119 @@
+"""Reentrancy stratum precision/recall against the labeled template set.
+
+The paper's Fig. 6 protocol (sampled warnings scored against ground truth)
+applied to the reentrancy corpus: every labeled template is instantiated
+under several seeds, analyzed, and the flagged kind set is compared with
+the template's label set exactly.
+
+Blocking: **zero false negatives** — every labeled vulnerable instance
+(DAO-style withdraw, cross-function variant, composite guard-bypass
+chain, CEI-violating payout) must be flagged.  False positives on the
+safe variants (CEI-ordered, mutex-guarded) are *tracked*, not asserted to
+zero here; the count lands in ``BENCH_reentrancy_precision.json`` (path
+overridable via ``BENCH_REENTRANCY_JSON``) so CI follows the trajectory
+from artifact to artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro import api
+from repro.corpus import REENTRANCY_TEMPLATES
+from repro.minisol import compile_source
+
+SEEDS = (11, 23, 47)
+
+_RESULTS: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    """Write ``BENCH_reentrancy_precision.json`` after the module ran (even
+    partially — a failed assertion still leaves the measured numbers)."""
+    yield
+    path = os.environ.get(
+        "BENCH_REENTRANCY_JSON", "BENCH_reentrancy_precision.json"
+    )
+    with open(path, "w") as handle:
+        json.dump(_RESULTS, handle, indent=2, sort_keys=True)
+    print("\nreentrancy precision benchmark written to %s" % path)
+
+
+def test_reentrancy_precision(benchmark):
+    def experiment():
+        per_template = {}
+        for name in sorted(REENTRANCY_TEMPLATES):
+            stats = {"contracts": 0, "tp": 0, "fp": 0, "fn": 0, "labels": None}
+            for seed in SEEDS:
+                output = REENTRANCY_TEMPLATES[name](random.Random(seed))
+                contract = compile_source(output.source, output.contract_name)
+                flagged = {
+                    w.kind for w in api.analyze(contract.runtime).warnings
+                }
+                stats["contracts"] += 1
+                stats["tp"] += len(flagged & output.labels)
+                stats["fp"] += len(flagged - output.labels)
+                stats["fn"] += len(output.labels - flagged)
+                stats["labels"] = sorted(output.labels)
+            per_template[name] = stats
+        return per_template
+
+    per_template = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    tp = sum(s["tp"] for s in per_template.values())
+    fp = sum(s["fp"] for s in per_template.values())
+    fn = sum(s["fn"] for s in per_template.values())
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    _RESULTS.update(
+        {
+            "templates": per_template,
+            "totals": {
+                "tp": tp,
+                "fp": fp,
+                "fn": fn,
+                "precision": precision,
+                "recall": recall,
+            },
+        }
+    )
+
+    print_table(
+        "Reentrancy stratum — labeled-template precision/recall",
+        ["template", "ground truth", "TP", "FP", "FN"],
+        [
+            (
+                name,
+                ",".join(stats["labels"]) or "(safe)",
+                stats["tp"],
+                stats["fp"],
+                stats["fn"],
+            )
+            for name, stats in sorted(per_template.items())
+        ]
+        + [
+            (
+                "TOTAL",
+                "precision %.2f / recall %.2f" % (precision, recall),
+                tp,
+                fp,
+                fn,
+            )
+        ],
+    )
+
+    # Blocking: every labeled vulnerable instance is caught.
+    assert fn == 0, "false negatives on the labeled reentrancy corpus"
+    # The safe variants exist and are scored (they supply the FP budget).
+    safe = [s for s in per_template.values() if not s["labels"]]
+    assert safe, "corpus must include safe (CEI/mutex) variants"
+    # FP count is tracked, not pinned — but it must stay in a sane band
+    # relative to corpus size (every safe contract false-positive on every
+    # seed would mean the mutex/CEI modeling regressed wholesale).
+    assert fp <= len(per_template) * len(SEEDS) // 2

@@ -33,6 +33,10 @@ PAPER_PERCENTAGES = {
     UNCHECKED_STATICCALL: 0.04,
     TAINTED_DELEGATECALL: 0.17,
 }
+# Table 1 covers the paper's five taint classes; the reentrancy stratum is
+# scored separately (test_reentrancy_precision.py) and its templates are
+# not in the default corpus mix.
+PAPER_KINDS = tuple(sorted(PAPER_PERCENTAGES))
 
 
 def test_table1_flag_rates(benchmark, corpus, analyzed):
@@ -52,14 +56,14 @@ def test_table1_flag_rates(benchmark, corpus, analyzed):
         ["vulnerability", "paper %", "measured %", "measured ETH held (wei)"],
         [
             (kind, PAPER_PERCENTAGES[kind], "%.2f" % rates[kind], eth[kind])
-            for kind in VULNERABILITY_KINDS
+            for kind in PAPER_KINDS
         ],
     )
 
     # Shape assertions.
     # 1. staticcall is the rarest class (new opcode, few users).
     assert rates[UNCHECKED_STATICCALL] <= min(
-        rates[kind] for kind in VULNERABILITY_KINDS if kind != UNCHECKED_STATICCALL
+        rates[kind] for kind in PAPER_KINDS if kind != UNCHECKED_STATICCALL
     )
     # 2. the selfdestruct/owner classes lead delegatecall and staticcall.
     assert rates[ACCESSIBLE_SELFDESTRUCT] > rates[TAINTED_DELEGATECALL]
@@ -68,7 +72,7 @@ def test_table1_flag_rates(benchmark, corpus, analyzed):
     total_flagged = len(analyzed.flagged_any())
     assert total_flagged / len(corpus) < 0.15
     # 4. every class is represented (the corpus exercises all detectors).
-    assert all(rates[kind] > 0 for kind in VULNERABILITY_KINDS if kind != UNCHECKED_STATICCALL)
+    assert all(rates[kind] > 0 for kind in PAPER_KINDS if kind != UNCHECKED_STATICCALL)
 
 
 def test_single_contract_analysis_cost(benchmark, corpus):

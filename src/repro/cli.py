@@ -26,9 +26,23 @@ from repro.chain import Blockchain
 from repro.core import AnalysisConfig
 from repro.corpus import generate_corpus
 from repro.decompiler import lift
+from repro.core.vulnerabilities import (
+    UnknownKindError,
+    VULNERABILITY_KINDS,
+    validate_kinds,
+)
 from repro.evm.disassembler import format_disassembly
 from repro.kill import EthainterKill
 from repro.minisol import compile_source
+
+
+def _parse_kinds(text: str):
+    """argparse type for ``--kinds``: comma-separated, validated."""
+    names = [piece.strip() for piece in text.split(",") if piece.strip()]
+    try:
+        return validate_kinds(names)
+    except UnknownKindError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
 
 
 def _read_bytecode(args: argparse.Namespace) -> bytes:
@@ -122,6 +136,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         value_analysis=args.value_analysis,
         timeout_seconds=args.deadline,
         engine=args.engine,
+        kinds=args.kinds,
     )
     result = api.analyze(runtime, config)
     if args.profile:
@@ -281,6 +296,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         value_analysis=args.value_analysis,
         engine=args.engine,
         timeout_seconds=args.deadline,
+        kinds=args.kinds,
     )
     summary = api.sweep(
         [contract.runtime for contract in corpus],
@@ -476,6 +492,14 @@ def _analysis_parent() -> argparse.ArgumentParser:
         dest="deadline",
         default=argparse.SUPPRESS,
         help=argparse.SUPPRESS,
+    )
+    parent.add_argument(
+        "--kinds",
+        type=_parse_kinds,
+        default=None,
+        metavar="KIND[,KIND...]",
+        help="restrict reported warnings to these vulnerability kinds "
+        "(comma-separated subset of: %s)" % ", ".join(VULNERABILITY_KINDS),
     )
     parent.add_argument(
         "--profile",

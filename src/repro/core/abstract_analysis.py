@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.lang import (
     AbstractProgram,
+    Call,
     Const,
     Guard,
     Hash,
@@ -53,6 +54,10 @@ class AbstractResult:
     dsa: Set[str] = field(default_factory=set)  # DSA(x)
     violations: Set[str] = field(default_factory=set)  # sink variables
     computed_sinks: Set[int] = field(default_factory=set)  # §4.5 slots
+    # Reentrancy stratum over straight-line CALL ordering: calls with a
+    # checked-then-rewritten slot, and the weaker write-after-call residue.
+    reentrant_calls: Set[str] = field(default_factory=set)
+    state_write_after_call: Set[str] = field(default_factory=set)
     # Datalog-engine profiling (EngineStats.as_dict()); None for the direct
     # fixpoint in this module.
     engine_stats: Optional[Dict] = None
@@ -275,5 +280,30 @@ def analyze_abstract(program: AbstractProgram) -> AbstractResult:
         if other is None or not tainted_any(ins.y):
             continue
         result.computed_sinks.update(result.storage_alias.get(other, ()))
+
+    # -------------------------------------------------- reentrancy stratum
+    # Straight-line order stands in for the CFG: a non-static CALL with a
+    # constant slot loaded before it and stored after it re-enters against
+    # a stale check; a store after the call with no prior read of the same
+    # slot is the weaker checks-effects-interactions residue.
+    for position, ins in enumerate(instructions):
+        if not isinstance(ins, Call) or ins.static:
+            continue
+        reads_before: Set[int] = set()
+        stores_after: Set[int] = set()
+        for earlier in instructions[:position]:
+            if isinstance(earlier, SLoad):
+                slot = result.const_value.get(earlier.f)
+                if slot is not None:
+                    reads_before.add(slot)
+        for later in instructions[position + 1 :]:
+            if isinstance(later, SStore):
+                slot = result.const_value.get(later.t)
+                if slot is not None:
+                    stores_after.add(slot)
+        if stores_after & reads_before:
+            result.reentrant_calls.add(ins.ident)
+        elif stores_after:
+            result.state_write_after_call.add(ins.ident)
 
     return result

@@ -16,10 +16,11 @@ sweeps re-use the configuration-independent lift+extract prefix.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.facts import ContractFacts
 from repro.core.guards import GuardModel
+from repro.core.ordering import CallOrderModel
 from repro.core.pipeline import ArtifactCache, StageTiming, run_pipeline
 from repro.core.storage_model import StorageModel
 from repro.core.taint import TaintOptions, TaintResult
@@ -63,6 +64,12 @@ class AnalysisConfig:
     # per-variable witnesses, so warning detail text is terser.  The valid
     # set lives in :data:`repro.core.pipeline.ENGINE_CHOICES`.
     engine: str = "python"
+    # Optional restriction of reported warnings to a subset of
+    # :data:`repro.core.vulnerabilities.VULNERABILITY_KINDS` (the CLI
+    # ``--kinds`` flag).  ``None`` reports every family; unknown names
+    # raise :class:`repro.core.vulnerabilities.UnknownKindError` before
+    # any stage runs.
+    kinds: Optional[Tuple[str, ...]] = None
 
     def taint_options(self) -> TaintOptions:
         return TaintOptions(
@@ -155,6 +162,7 @@ class AnalysisResult:
     facts: Optional[ContractFacts] = None
     guards: Optional[GuardModel] = None
     storage: Optional[StorageModel] = None
+    ordering: Optional[CallOrderModel] = None
     program: Optional[TACProgram] = None
 
     @property
@@ -227,6 +235,7 @@ class EthainterAnalysis:
         result.facts = artifacts.get("values", artifacts.get("facts"))
         result.storage = artifacts.get("storage")
         result.guards = artifacts.get("guards")
+        result.ordering = artifacts.get("ordering")
         result.taint = artifacts.get("taint")
         result.datalog_stats = getattr(result.taint, "engine_stats", None)
         findings = artifacts.get("detect")

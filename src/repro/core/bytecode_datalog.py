@@ -32,10 +32,20 @@ EDB (extracted facts):
     ResolvedStore(s)              value analysis bounded store s's address
     ResolvedStoreSlot(s, v)       ... and v is one of its candidate slots
 
+Reentrancy ordering stratum (from :mod:`repro.core.ordering`; only emitted
+when the contract has a reentrancy-capable call, so call-free contracts
+keep a byte-identical EDB/ruleset):
+
+    ReentrancyCall(c)             gas-forwarding CALL/CALLCODE statement c
+    CallBeforeStore(c, s, p)      store s to path p on a path after call c
+    CallPathRead(c, p)            path p loaded before call c
+    MutexedCall(c)                a storage mutex protects call c
+
 IDB:
     ReachableByAttacker(s), Guarded(s) [projection for negation],
     InputTaint(x), StorageTaint(x), TaintedStorage(v),
-    WritableMapping(b), CompromisedGuard(g)
+    WritableMapping(b), CompromisedGuard(g),
+    GuardedByMutex(c), ReentrantCall(c), StateWriteAfterCall(c)
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.facts import ContractFacts, extract_facts
 from repro.core.guards import DS_LOOKUP, EQ_SENDER, GuardModel, build_guard_model
+from repro.core.ordering import CallOrderModel, build_call_order_model
 from repro.core.storage_model import StorageModel, build_storage_model, memory_var
 from repro.core.taint import TaintOptions, TaintResult
 from repro.datalog import Database, Engine, parse_program
@@ -134,12 +145,30 @@ StorageTaint(x) :- SLoadUnknown(s, a, x), AnyTaintedStore().
 StorageTaint(x) :- SLoadUnknown(s, a, x), AnySlotTainted().
 """
 
+# Reentrancy stratum (rule shapes after Chinen et al. / Samreen & Alalfi):
+# a gas-forwarding call the attacker reaches, followed by a write to a
+# storage path that the code also *checked* before the call, with no mutex
+# on the way, lets the callee re-enter while the check sees stale state.
+# ReentrantCall composes with the escalation machinery for free: an
+# owner-guarded withdraw becomes ReachableByAttacker — hence reentrant —
+# once CompromisedGuard fires on its guard (the tainted-owner chain).
+# StateWriteAfterCall is the weaker checks-effects-interactions residue,
+# derived in a later stratum so it never double-reports a ReentrantCall.
+REENTRANCY_RULES = r"""
+GuardedByMutex(c) :- MutexedCall(c).
+ReentrantCall(c) :- ReentrancyCall(c), CallBeforeStore(c, s, p), CallPathRead(c, p),
+                    ReachableByAttacker(c), !GuardedByMutex(c).
+StateWriteAfterCall(c) :- ReentrancyCall(c), CallBeforeStore(c, s, p),
+                          ReachableByAttacker(c), !GuardedByMutex(c), !ReentrantCall(c).
+"""
+
 
 def _facts_to_edb(
     facts: ContractFacts,
     storage: StorageModel,
     guards: GuardModel,
     options: TaintOptions,
+    ordering: Optional[CallOrderModel] = None,
 ) -> Dict[str, Set[Tuple]]:
     """The EDB as plain per-relation fact sets.
 
@@ -235,6 +264,24 @@ def _facts_to_edb(
             database.add("MappingConfined", (variable,))
         for variable in storage.ds_vars:
             database.add("SenderKey", (variable,))
+
+    # Reentrancy ordering stratum: emitted only for reentrancy-capable
+    # calls, independent of the ablation flags, so call-free contracts
+    # keep a byte-identical EDB.
+    if ordering is not None:
+        for site in ordering.call_sites.values():
+            if not site.reentrancy_capable:
+                continue
+            database.add("ReentrancyCall", (site.statement_id,))
+            if site.mutex_guarded:
+                database.add("MutexedCall", (site.statement_id,))
+            for path, store_ids in site.stores_after.items():
+                for store_id in store_ids:
+                    database.add(
+                        "CallBeforeStore", (site.statement_id, store_id, path)
+                    )
+            for path in site.paths_read_before:
+                database.add("CallPathRead", (site.statement_id, path))
     return database.relations
 
 
@@ -257,12 +304,14 @@ def _load_edb(edb: Dict[str, Set[Tuple]]) -> Database:
     return database
 
 
-def _rules(options: TaintOptions):
+def _rules(options: TaintOptions, reentrancy: bool = False):
     text = CORE_RULES
     if options.model_storage_taint:
         text += WRITE2_RULES
         if options.conservative_storage:
             text += CONSERVATIVE_RULES
+    if reentrancy:
+        text += REENTRANCY_RULES
     return parse_program(text).rules
 
 
@@ -324,6 +373,7 @@ class WarmEngineCache:
         track_provenance: bool,
         use_plans: bool,
         columnar: Optional[bool],
+        reentrancy: bool = False,
     ) -> Tuple[Engine, Database]:
         key = (
             contract_key,
@@ -332,6 +382,7 @@ class WarmEngineCache:
             track_provenance,
             use_plans,
             bool(columnar),
+            reentrancy,  # the ruleset differs when the stratum is active
         )
         entry = self._entries.get(key)
         if entry is not None and use_plans:
@@ -382,6 +433,7 @@ def analyze_with_datalog(
     use_plans: bool = True,
     columnar: Optional[bool] = None,
     warm: Optional[WarmEngineCache] = None,
+    ordering: Optional[CallOrderModel] = None,
 ) -> TaintResult:
     """Run the declarative bytecode analysis.
 
@@ -411,9 +463,12 @@ def analyze_with_datalog(
         storage = build_storage_model(facts)
     if guards is None:
         guards = build_guard_model(facts, storage)
+    if ordering is None:
+        ordering = build_call_order_model(facts, storage, guards)
 
-    edb = _facts_to_edb(facts, storage, guards, options)
-    rules = _rules(options)
+    edb = _facts_to_edb(facts, storage, guards, options, ordering=ordering)
+    reentrancy = "ReentrancyCall" in edb
+    rules = _rules(options, reentrancy=reentrancy)
     if warm is not None:
         engine, database = warm.fixpoint(
             _contract_key(runtime_bytecode, edb),
@@ -423,6 +478,7 @@ def analyze_with_datalog(
             track_provenance,
             use_plans,
             columnar,
+            reentrancy=reentrancy,
         )
     else:
         database = _load_edb(edb)
@@ -458,6 +514,8 @@ def explain_warning(result_engine, warning, taint: TaintResult) -> str:
     """
     from repro.core.vulnerabilities import (
         ACCESSIBLE_SELFDESTRUCT,
+        REENTRANT_CALL,
+        STATE_WRITE_AFTER_CALL,
         TAINTED_OWNER,
     )
 
@@ -467,6 +525,14 @@ def explain_warning(result_engine, warning, taint: TaintResult) -> str:
         )
     if warning.kind == TAINTED_OWNER and warning.slot is not None:
         return result_engine.format_explanation("TaintedStorage", (warning.slot,))
+    if warning.kind == REENTRANT_CALL:
+        return result_engine.format_explanation(
+            "ReentrantCall", (warning.statement,)
+        )
+    if warning.kind == STATE_WRITE_AFTER_CALL:
+        return result_engine.format_explanation(
+            "StateWriteAfterCall", (warning.statement,)
+        )
     # Tainted selfdestruct/delegatecall/staticcall: explain the taint on the
     # sensitive variable named in the detail text where possible; fall back
     # to the statement's reachability.

@@ -16,6 +16,7 @@ from typing import Dict, Set
 from repro.core.abstract_analysis import AbstractResult, analyze_abstract
 from repro.core.lang import (
     AbstractProgram,
+    Call,
     Const,
     Guard,
     Hash,
@@ -71,6 +72,17 @@ SinkSlot(v) :- GuardStmt(g, p, x), EqStmt(p, y, z), SenderVar(y),
                Alias(z, v), TaintedVar(x).
 SinkSlot(v) :- GuardStmt(g, p, x), EqStmt(p, y, z), SenderVar(z),
                Alias(y, v), TaintedVar(x).
+
+// ---- Reentrancy ordering stratum ------------------------------------
+// Straight-line instruction order is precomputed into the EDB (the
+// engine has no arithmetic): CallBeforeStore(c, v) when a non-static
+// call c precedes an SSTORE to constant slot v, CallPathRead(c, v) when
+// an SLOAD of v precedes c.  A call that re-reads a slot it later
+// rewrites re-enters against a stale check; a bare write-after is the
+// weaker checks-effects-interactions residue, derived in a later
+// stratum so it never doubles a ReentrantCall.
+ReentrantCall(c) :- CallStmt(c), CallBeforeStore(c, v), CallPathRead(c, v).
+StateWriteAfterCall(c) :- CallStmt(c), CallBeforeStore(c, v), !ReentrantCall(c).
 """
 
 
@@ -126,6 +138,23 @@ def facts_from_program(program: AbstractProgram) -> Database:
             pass  # already covered by ConstVal
     for slot in known_slots:
         database.add("KnownSlot", (slot,))
+
+    # Reentrancy ordering EDB: straight-line position precomputed here so
+    # the rules stay order-free (the engine has no comparisons).
+    for position, ins in enumerate(program.instructions):
+        if not isinstance(ins, Call) or ins.static:
+            continue
+        database.add("CallStmt", (ins.ident,))
+        for earlier in program.instructions[:position]:
+            if isinstance(earlier, SLoad):
+                slot = reference.const_value.get(earlier.f)
+                if slot is not None:
+                    database.add("CallPathRead", (ins.ident, slot))
+        for later in program.instructions[position + 1 :]:
+            if isinstance(later, SStore):
+                slot = reference.const_value.get(later.t)
+                if slot is not None:
+                    database.add("CallBeforeStore", (ins.ident, slot))
     return database
 
 
@@ -150,6 +179,10 @@ def analyze_with_datalog(
     result.dsa = {row[0] for row in database.facts("DSA")}
     result.violations = {row[0] for row in database.facts("Violation")}
     result.computed_sinks = {row[0] for row in database.facts("SinkSlot")}
+    result.reentrant_calls = {row[0] for row in database.facts("ReentrantCall")}
+    result.state_write_after_call = {
+        row[0] for row in database.facts("StateWriteAfterCall")
+    }
 
     const_value: Dict[str, int] = {}
     for variable, value in database.facts("ConstVal"):

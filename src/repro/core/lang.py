@@ -9,9 +9,16 @@ Instructions::
     SSTORE(f, t)        persistent store: value f to address t
     SLOAD(f, t)         persistent load: address f to variable t
     SINK(x)             sensitive instruction (taint sink)
+    CALL(c)             external call c (reentrancy stratum; STATIC
+                        variant cannot re-enter)
 
 plus ``x := CONST(v)`` to populate the (elided in the paper) ConstValue
 relation, and the reserved variable ``sender``.
+
+The taint relations stay flow-insensitive as in the paper; ``CALL`` is the
+one instruction whose *position* matters — the reentrancy stratum reads
+straight-line order (SLOAD before / SSTORE after a call) off the
+instruction list.
 
 A small text syntax is provided for tests and examples::
 
@@ -23,6 +30,8 @@ A small text syntax is provided for tests and examples::
     SSTORE x v
     SLOAD v y
     SINK y
+    CALL c
+    STATICCALL d
 """
 
 from __future__ import annotations
@@ -103,7 +112,20 @@ class Sink:
     x: str
 
 
-Instruction = Union[Const, Input, Op, Hash, Guard, SStore, SLoad, Sink]
+@dataclass(frozen=True)
+class Call:
+    """``CALL(c)`` — external call named c.
+
+    ``static=True`` models a read-only (STATICCALL-style) call: the callee
+    cannot write state, so it can never re-enter meaningfully and the
+    reentrancy stratum ignores it.
+    """
+
+    ident: str
+    static: bool = False
+
+
+Instruction = Union[Const, Input, Op, Hash, Guard, SStore, SLoad, Sink, Call]
 
 
 @dataclass
@@ -111,7 +133,9 @@ class AbstractProgram:
     """A straight-line program over the abstract language.
 
     The language is flow-insensitive by design (the paper's relations hold
-    globally), so instruction order carries no meaning for the analysis.
+    globally), so instruction order carries no meaning for the taint
+    analysis; only the reentrancy stratum reads straight-line order
+    around ``CALL`` instructions.
     """
 
     instructions: List[Instruction] = field(default_factory=list)
@@ -142,11 +166,15 @@ def parse_abstract(text: str) -> AbstractProgram:
             continue
         tokens = line.replace("=", " = ").split()
         try:
-            if tokens[0] in ("SSTORE", "SLOAD", "SINK"):
+            if tokens[0] in ("SSTORE", "SLOAD", "SINK", "CALL", "STATICCALL"):
                 if tokens[0] == "SSTORE":
                     program.instructions.append(SStore(f=tokens[1], t=tokens[2]))
                 elif tokens[0] == "SLOAD":
                     program.instructions.append(SLoad(f=tokens[1], t=tokens[2]))
+                elif tokens[0] == "CALL":
+                    program.instructions.append(Call(ident=tokens[1]))
+                elif tokens[0] == "STATICCALL":
+                    program.instructions.append(Call(ident=tokens[1], static=True))
                 else:
                     program.instructions.append(Sink(x=tokens[1]))
                 continue

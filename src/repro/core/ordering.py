@@ -1,0 +1,329 @@
+"""External-call / storage-effect ordering facts (the reentrancy stratum).
+
+Reentrancy is an *ordering* property: a contract that performs an external
+call while its own bookkeeping for the transferred asset is still stale can
+be re-entered through the callee before the write lands (the DAO shape;
+Chinen et al. encode exactly this as Datalog flow rules over EVM facts, and
+Samreen & Alalfi catalogue the same patterns source-side).  The taint/guard
+machinery of the other strata is order-insensitive, so this module adds the
+missing CFG-order and dominance relations over the already-extracted
+:class:`~repro.core.facts.ContractFacts`:
+
+* ``CallBeforeStore(call, store, path)`` — an external call from which an
+  ``SSTORE`` to the same *storage path* is CFG-reachable: the classic
+  checks-effects-interactions violation.  Paths are constant slots
+  (``slot:<n>``) or whole mappings attributed to their root slot
+  (``map:<n>``, via :class:`~repro.core.storage_model.MappingAccess`).
+* ``PathLoadedBeforeCall(call, path)`` — the same path was read on every
+  path to the call (a dominating ``SLOAD``): the "check" that the
+  re-entrant callee observes stale.
+* per-call attributes — ``forwards_gas`` (enough gas for the callee to
+  re-enter: a non-constant, ``GAS``-derived stipend or a constant above the
+  2300-gas transfer stipend), ``sends_value``, and ``success_checked``
+  (the call's status word feeds a branch, or the block re-checks
+  ``RETURNDATASIZE``).
+* mutex detection — a call is mutex-guarded when some storage slot is
+  *checked to be clear* by a branch dominating the call (``require(!locked)``
+  / ``require(locked == 0)``, normalized through ``ISZERO`` chains exactly
+  like :mod:`repro.core.guards` does) *and* set to a nonzero constant on a
+  dominating store.  Whether the flag is also cleared after the call is
+  recorded (``mutex_cleared``) but not required: a set-but-never-cleared
+  mutex still makes re-entry revert, so it still suppresses the warning.
+
+Only plain ``CALL``/``CALLCODE`` are reentrancy-capable: ``STATICCALL``
+runs the callee in a read-only frame (it cannot re-enter state-changing
+code), and ``DELEGATECALL`` is covered by the tainted-delegatecall sink.
+
+Everything here is taint-independent — a "previous stratum" in the Figure 2
+sense — so the model is computed once per contract and shared by all four
+fixpoint engines, which is what keeps their reentrancy verdicts identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.facts import CallFact, ContractFacts
+from repro.core.guards import GuardModel, _normalize
+from repro.core.storage_model import StorageModel
+from repro.ir.dominators import compute_dominators
+
+# Call kinds that can hand control to attacker code able to re-enter.
+REENTRANCY_CAPABLE_KINDS = ("CALL", "CALLCODE")
+
+# Gas at or below the legacy ``transfer``/``send`` stipend cannot perform
+# an SSTORE in the callee, so it cannot drive a useful re-entry.
+GAS_STIPEND = 2300
+
+
+def slot_path(storage: StorageModel, access) -> Optional[str]:
+    """The storage *path* of one access: ``slot:<n>`` for a constant slot,
+    ``map:<base>`` for a resolved mapping element, None when unresolved."""
+    if access.const_slot is not None:
+        return "slot:%d" % access.const_slot
+    for source in storage.copy_sources.get(access.address_var, {access.address_var}):
+        mapping = storage.mapping_accesses.get(source)
+        if mapping is not None:
+            return "map:%d" % mapping.base_slot
+    return None
+
+
+@dataclass
+class CallSite:
+    """One reentrancy-relevant external call with its ordering attributes."""
+
+    call: CallFact
+    forwards_gas: bool = False
+    sends_value: bool = False
+    success_checked: bool = False
+    # Storage paths written on some CFG path after this call, with the
+    # writing statements:  path -> store statement ids.
+    stores_after: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    # Storage paths read on a dominating statement (the stale "check").
+    paths_read_before: Set[str] = field(default_factory=set)
+    # Slots acting as a mutex for this call (checked clear + set, both
+    # dominating the call); non-empty means the call is re-entry safe.
+    mutex_slots: Tuple[int, ...] = ()
+    # Some mutex slot is reset to zero on a path after the call (recorded
+    # for reporting; not required for protection).
+    mutex_cleared: bool = False
+
+    @property
+    def statement_id(self) -> str:
+        return self.call.statement.ident
+
+    @property
+    def reentrancy_capable(self) -> bool:
+        return self.call.kind in REENTRANCY_CAPABLE_KINDS and self.forwards_gas
+
+    @property
+    def mutex_guarded(self) -> bool:
+        return bool(self.mutex_slots)
+
+
+@dataclass
+class CallOrderModel:
+    """All ordering facts for one contract (empty for call-free contracts)."""
+
+    call_sites: Dict[str, CallSite] = field(default_factory=dict)
+    # Flat (call stmt, store stmt, path) triples — the CallBeforeStore EDB.
+    call_before_store: List[Tuple[str, str, str]] = field(default_factory=list)
+
+    def site_of(self, statement_id: str) -> Optional[CallSite]:
+        return self.call_sites.get(statement_id)
+
+
+def _statement_index(program) -> Dict[str, Tuple[str, int]]:
+    """statement id -> (block id, position within block)."""
+    index: Dict[str, Tuple[str, int]] = {}
+    for block in program.blocks.values():
+        for position, stmt in enumerate(block.statements):
+            index[stmt.ident] = (block.ident, position)
+    return index
+
+
+def _reachable_after(program) -> Dict[str, Set[str]]:
+    """block -> blocks reachable from its *successors* (transitively).
+
+    A block inside a loop reaches itself, so a same-block statement at an
+    earlier position still counts as "after" a call when the block re-runs.
+    """
+    successors = {ident: block.successors for ident, block in program.blocks.items()}
+    reach: Dict[str, Set[str]] = {}
+    for ident in program.blocks:
+        seen: Set[str] = set()
+        frontier = [s for s in successors.get(ident, ()) if s in program.blocks]
+        while frontier:
+            node = frontier.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(
+                s for s in successors.get(node, ()) if s in program.blocks
+            )
+        reach[ident] = seen
+    return reach
+
+
+def _flows_into_branch(facts: ContractFacts, def_var: Optional[str]) -> bool:
+    """Whether ``def_var`` (a call's status word) feeds a JUMPI condition,
+    possibly through ISZERO/AND chains — i.e. the success is checked."""
+    if def_var is None:
+        return False
+    derived: Set[str] = {def_var}
+    changed = True
+    while changed:
+        changed = False
+        for source, dest, _stmt in facts.flow_edges:
+            if source in derived and dest not in derived:
+                derived.add(dest)
+                changed = True
+    return any(stmt.uses[1] in derived for stmt in facts.jumpis)
+
+
+def _zero_checked_slots(
+    facts: ContractFacts,
+    storage: StorageModel,
+    jumpi,
+    successor_polarity: bool,
+) -> Set[int]:
+    """Slots a branch side asserts to be *zero* (the mutex "check").
+
+    Handles ``require(!locked)`` (ISZERO chains flip the polarity to
+    False-of-the-load) and ``require(locked == 0)`` (an EQ against a zero
+    constant with positive polarity).
+    """
+    base, polarity = _normalize(facts, jumpi.uses[1], successor_polarity)
+    slots: Set[int] = set()
+
+    def aliased_slots(variable: str) -> Set[int]:
+        found: Set[int] = set()
+        for source in storage.copy_sources.get(variable, {variable}):
+            found.update(storage.aliases_of(source))
+            found.update(storage.value_aliases_of(source))
+        return found
+
+    if not polarity:
+        # The branch runs when `base` is falsy: base must be zero.
+        slots.update(aliased_slots(base))
+        return slots
+    defining = facts.def_stmt.get(base)
+    if defining is not None and defining.opcode == "EQ":
+        left, right = defining.uses
+        for const_side, value_side in ((left, right), (right, left)):
+            if facts.const.get(const_side) == 0:
+                slots.update(aliased_slots(value_side))
+    return slots
+
+
+def build_call_order_model(
+    facts: ContractFacts,
+    storage: StorageModel,
+    guards: GuardModel,
+) -> CallOrderModel:
+    """Compute the reentrancy ordering stratum for one contract.
+
+    ``guards`` is accepted for signature symmetry with the other strata
+    builders (mutex detection re-uses the guard *normalization* helpers but
+    deliberately not the sender-scrutinizing classification: a mutex check
+    never mentions the sender).
+    """
+    model = CallOrderModel()
+    if not facts.calls:
+        return model
+
+    program = facts.program
+    position_of = _statement_index(program)
+    reach_after = _reachable_after(program)
+    successors = {ident: block.successors for ident, block in program.blocks.items()}
+    dominators = compute_dominators(program.entry, successors)
+
+    # Pre-index storage effects by block.
+    stores_by_block: Dict[str, List[Tuple[int, str, object]]] = {}
+    loads_by_block: Dict[str, List[Tuple[int, str, object]]] = {}
+    for store in facts.storage_stores:
+        block_id, position = position_of[store.statement.ident]
+        path = slot_path(storage, store)
+        if path is not None:
+            stores_by_block.setdefault(block_id, []).append((position, path, store))
+    for load in facts.storage_loads:
+        block_id, position = position_of[load.statement.ident]
+        path = slot_path(storage, load)
+        if path is not None:
+            loads_by_block.setdefault(block_id, []).append((position, path, load))
+
+    # Constant-value stores per slot, for the mutex set/clear detection.
+    const_slot_stores: List[Tuple[str, int, Optional[int]]] = []  # (stmt, slot, value)
+    for store in facts.storage_stores:
+        if store.const_slot is not None:
+            const_slot_stores.append(
+                (store.statement.ident, store.const_slot, facts.const.get(store.value_var))
+            )
+
+    for call in facts.calls:
+        call_block, call_position = position_of[call.statement.ident]
+        call_doms = dominators.get(call_block, {call_block})
+        after_blocks = reach_after.get(call_block, set())
+
+        gas_const = facts.const.get(call.gas_var)
+        value_const = (
+            facts.const.get(call.value_var) if call.value_var is not None else 0
+        )
+        site = CallSite(
+            call=call,
+            forwards_gas=gas_const is None or gas_const > GAS_STIPEND,
+            sends_value=call.value_var is not None
+            and (value_const is None or value_const > 0),
+            success_checked=_flows_into_branch(facts, call.statement.def_var)
+            or call.statement.block in facts.returndatasize_blocks,
+        )
+
+        # ---- CallBeforeStore: stores CFG-after the call, per path.
+        stores_after: Dict[str, List[str]] = {}
+        for block_id, entries in stores_by_block.items():
+            for position, path, store in entries:
+                after = (
+                    block_id in after_blocks
+                    or (block_id == call_block and position > call_position)
+                )
+                if after:
+                    stores_after.setdefault(path, []).append(store.statement.ident)
+        site.stores_after = {
+            path: tuple(sorted(idents)) for path, idents in stores_after.items()
+        }
+        for path in sorted(site.stores_after):
+            for store_id in site.stores_after[path]:
+                model.call_before_store.append(
+                    (call.statement.ident, store_id, path)
+                )
+
+        # ---- PathLoadedBeforeCall: dominating loads of the same paths.
+        for block_id, entries in loads_by_block.items():
+            for position, path, _load in entries:
+                before = (
+                    block_id == call_block and position < call_position
+                ) or (block_id != call_block and block_id in call_doms)
+                if before:
+                    site.paths_read_before.add(path)
+
+        # ---- Mutex: slot checked-zero AND set-nonzero, both dominating.
+        checked_zero: Set[int] = set()
+        for jumpi in facts.jumpis:
+            jumpi_block = program.blocks.get(jumpi.block)
+            if jumpi_block is None:
+                continue
+            for successor, polarity in (
+                (jumpi_block.taken_successor, True),
+                (jumpi_block.fallthrough_successor, False),
+            ):
+                if successor is None:
+                    continue
+                # The check constrains the call only when the call is
+                # dominated by the branch side that passed it.
+                if successor not in call_doms or successor == jumpi.block:
+                    continue
+                checked_zero.update(
+                    _zero_checked_slots(facts, storage, jumpi, polarity)
+                )
+        set_before: Set[int] = set()
+        cleared_after: Set[int] = set()
+        for stmt_id, slot, value in const_slot_stores:
+            block_id, position = position_of[stmt_id]
+            dominates_call = (
+                block_id == call_block and position < call_position
+            ) or (block_id != call_block and block_id in call_doms)
+            is_after = block_id in after_blocks or (
+                block_id == call_block and position > call_position
+            )
+            if dominates_call and value is not None and value != 0:
+                set_before.add(slot)
+            if is_after and value == 0:
+                cleared_after.add(slot)
+        mutex = checked_zero & set_before
+        site.mutex_slots = tuple(sorted(mutex))
+        site.mutex_cleared = bool(mutex & cleared_after)
+
+        model.call_sites[call.statement.ident] = site
+
+    return model

@@ -38,8 +38,9 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.facts import extract_facts
 from repro.core.guards import build_guard_model
+from repro.core.ordering import build_call_order_model
 from repro.core.storage_model import build_storage_model
-from repro.core.vulnerabilities import detect
+from repro.core.vulnerabilities import UnknownKindError, detect, validate_kinds
 from repro.decompiler import LiftError, lift
 from repro.ir.value_analysis import analyze_values
 
@@ -251,6 +252,13 @@ def _run_guards(ctx: PipelineContext):
     return build_guard_model(ctx.artifacts["values"], ctx.artifacts["storage"])
 
 
+def _run_ordering(ctx: PipelineContext):
+    """The reentrancy ordering stratum (taint-independent, like guards)."""
+    return build_call_order_model(
+        ctx.artifacts["values"], ctx.artifacts["storage"], ctx.artifacts["guards"]
+    )
+
+
 def _run_taint(ctx: PipelineContext):
     options = ctx.config.taint_options()
     options.deadline = ctx.deadline
@@ -264,6 +272,7 @@ def _run_taint(ctx: PipelineContext):
             facts=ctx.artifacts["values"],
             storage=ctx.artifacts["storage"],
             guards=ctx.artifacts["guards"],
+            ordering=ctx.artifacts["ordering"],
             options=options,
             use_plans=use_plans,
             columnar=columnar,
@@ -285,6 +294,8 @@ def _run_detect(ctx: PipelineContext):
         ctx.artifacts["storage"],
         ctx.artifacts["guards"],
         ctx.artifacts["taint"],
+        ordering=ctx.artifacts["ordering"],
+        kinds=validate_kinds(getattr(ctx.config, "kinds", None)),
     )
 
 
@@ -312,12 +323,13 @@ STAGES: Tuple[Stage, ...] = (
     Stage("values", _run_values, ("value_analysis",)),
     Stage("storage", _run_storage),
     Stage("guards", _run_guards),
+    Stage("ordering", _run_ordering),
     Stage(
         "taint",
         _run_taint,
         ("engine", "model_guards", "model_storage_taint", "conservative_storage"),
     ),
-    Stage("detect", _run_detect),
+    Stage("detect", _run_detect, ("kinds",)),
 )
 
 STAGE_NAMES: Tuple[str, ...] = tuple(stage.name for stage in STAGES)
@@ -325,7 +337,9 @@ STAGE_NAMES: Tuple[str, ...] = tuple(stage.name for stage in STAGES)
 # The longest prefix of stages whose fingerprints agree across the Fig. 8
 # ablation configurations (everything before the taint fixpoint; the
 # ablations all leave ``value_analysis`` at its default).
-PREFIX_STAGES: Tuple[str, ...] = ("lift", "facts", "values", "storage", "guards")
+PREFIX_STAGES: Tuple[str, ...] = (
+    "lift", "facts", "values", "storage", "guards", "ordering",
+)
 
 
 def stage_fingerprints(config) -> Dict[str, str]:
@@ -393,6 +407,9 @@ def run_pipeline(
     engine = getattr(config, "engine", "python")
     if engine not in ENGINE_CHOICES:
         raise UnknownEngineError(engine)
+    # Fail fast on a bad kinds filter too (before any stage runs), so the
+    # caller sees UnknownKindError instead of a mid-pipeline stage error.
+    validate_kinds(getattr(config, "kinds", None))
     started = time.monotonic()
     outcome = PipelineOutcome()
     if deadline is None:

@@ -1,4 +1,5 @@
-"""The five Ethainter vulnerability detectors (paper §3).
+"""The Ethainter vulnerability detectors (paper §3, plus the reentrancy
+stratum).
 
 Each detector consumes the taint fixpoint plus the static models and yields
 :class:`Finding` records.  Detector-by-detector correspondence with §3:
@@ -20,15 +21,30 @@ Each detector consumes the taint fixpoint plus the static models and yields
   the call, and attacker influence on the call (target or input buffer): a
   short callee return leaves the attacker's input in place as if it were the
   callee's answer.
+
+Two reentrancy detectors over the ordering stratum
+(:mod:`repro.core.ordering`; rule shapes after Chinen et al. and
+Samreen & Alalfi):
+
+* **reentrant call** — an attacker-reachable, gas-forwarding external call
+  after which a storage path is written that was also *checked* (loaded)
+  before the call, with no mutex set on the way: the callee can re-enter
+  while the check still sees stale state.  Composes with guard compromise —
+  an owner-guarded withdraw becomes reentrant once the owner slot is
+  attacker-tainted.
+* **state write after call** — the weaker checks-effects-interactions smell:
+  a write follows the call but the path was never read before it.  Reported
+  only when the same call is not already flagged reentrant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.facts import ContractFacts
 from repro.core.guards import GuardModel
+from repro.core.ordering import CallOrderModel, build_call_order_model
 from repro.core.storage_model import StorageModel, memory_var
 from repro.core.taint import TaintResult
 
@@ -37,6 +53,8 @@ TAINTED_SELFDESTRUCT = "tainted-selfdestruct"
 TAINTED_OWNER = "tainted-owner-variable"
 TAINTED_DELEGATECALL = "tainted-delegatecall"
 UNCHECKED_STATICCALL = "unchecked-tainted-staticcall"
+REENTRANT_CALL = "reentrant-call"
+STATE_WRITE_AFTER_CALL = "state-write-after-call"
 
 VULNERABILITY_KINDS = (
     ACCESSIBLE_SELFDESTRUCT,
@@ -44,7 +62,35 @@ VULNERABILITY_KINDS = (
     TAINTED_OWNER,
     TAINTED_DELEGATECALL,
     UNCHECKED_STATICCALL,
+    REENTRANT_CALL,
+    STATE_WRITE_AFTER_CALL,
 )
+
+
+class UnknownKindError(ValueError):
+    """A kinds filter named a vulnerability kind that does not exist."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        super().__init__(
+            "unknown vulnerability kind %r: valid kinds are %s"
+            % (kind, ", ".join(VULNERABILITY_KINDS))
+        )
+
+
+def validate_kinds(kinds: Optional[Iterable[str]]) -> Optional[Tuple[str, ...]]:
+    """Normalize a kinds filter to a sorted tuple; None passes through.
+
+    Raises :class:`UnknownKindError` naming the first unknown entry.
+    """
+    if kinds is None:
+        return None
+    normalized = []
+    for kind in kinds:
+        if kind not in VULNERABILITY_KINDS:
+            raise UnknownKindError(kind)
+        normalized.append(kind)
+    return tuple(sorted(set(normalized)))
 
 
 @dataclass(frozen=True)
@@ -63,8 +109,18 @@ def detect(
     storage: StorageModel,
     guards: GuardModel,
     taint: TaintResult,
+    ordering: Optional[CallOrderModel] = None,
+    kinds: Optional[Tuple[str, ...]] = None,
 ) -> List[Finding]:
-    """Run all five detectors over one contract's analysis artifacts."""
+    """Run all detectors over one contract's analysis artifacts.
+
+    ``ordering`` carries the reentrancy stratum (computed on the fly when
+    omitted, for backward compatibility); ``kinds`` optionally restricts
+    the returned findings to a validated subset of
+    :data:`VULNERABILITY_KINDS`.
+    """
+    if ordering is None:
+        ordering = build_call_order_model(facts, storage, guards)
     findings: List[Finding] = []
 
     # -------------------------------------------- accessible selfdestruct
@@ -150,7 +206,58 @@ def detect(
                 )
             )
 
+    # ------------------------- reentrant call / state write after call
+    # STATICCALL runs read-only and DELEGATECALL is the §3.2 sink, so only
+    # gas-forwarding CALL/CALLCODE sites appear here (site.reentrancy_capable).
+    for call in facts.calls:
+        site = ordering.site_of(call.statement.ident)
+        if site is None or not site.reentrancy_capable:
+            continue
+        if not taint.is_reachable(site.statement_id):
+            continue
+        if site.mutex_guarded:
+            continue
+        if not site.stores_after:
+            continue
+        reentrant_paths = sorted(
+            path for path in site.stores_after if path in site.paths_read_before
+        )
+        if reentrant_paths:
+            findings.append(
+                Finding(
+                    kind=REENTRANT_CALL,
+                    statement=site.statement_id,
+                    pc=call.statement.pc,
+                    detail="call forwards gas; %s checked before and written "
+                    "after it (re-entrancy window)" % ", ".join(reentrant_paths),
+                    slot=_path_slot(reentrant_paths[0]),
+                )
+            )
+        else:
+            stale_paths = sorted(site.stores_after)
+            findings.append(
+                Finding(
+                    kind=STATE_WRITE_AFTER_CALL,
+                    statement=site.statement_id,
+                    pc=call.statement.pc,
+                    detail="state write to %s after external call "
+                    "(checks-effects-interactions violation)"
+                    % ", ".join(stale_paths),
+                    slot=_path_slot(stale_paths[0]),
+                )
+            )
+
+    if kinds is not None:
+        findings = [finding for finding in findings if finding.kind in kinds]
     return findings
+
+
+def _path_slot(path: str) -> Optional[int]:
+    """The concrete slot of a ``slot:<n>``/``map:<n>`` storage path."""
+    try:
+        return int(path.split(":", 1)[1])
+    except (IndexError, ValueError):
+        return None
 
 
 def findings_by_kind(findings: List[Finding]) -> Dict[str, List[Finding]]:

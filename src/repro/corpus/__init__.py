@@ -19,6 +19,16 @@ inspection.
 """
 
 from repro.corpus.generator import CorpusContract, generate_corpus
-from repro.corpus.templates import TEMPLATES, TemplateOutput
+from repro.corpus.templates import (
+    REENTRANCY_TEMPLATES,
+    TEMPLATES,
+    TemplateOutput,
+)
 
-__all__ = ["generate_corpus", "CorpusContract", "TEMPLATES", "TemplateOutput"]
+__all__ = [
+    "generate_corpus",
+    "CorpusContract",
+    "TEMPLATES",
+    "REENTRANCY_TEMPLATES",
+    "TemplateOutput",
+]

@@ -17,7 +17,11 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
-from repro.corpus.templates import TEMPLATES, TemplateOutput
+from repro.corpus.templates import (
+    REENTRANCY_TEMPLATES,
+    TEMPLATES,
+    TemplateOutput,
+)
 from repro.minisol import CompiledContract, compile_source
 
 # Weights tuned so per-vulnerability flag rates land in the paper's
@@ -101,10 +105,15 @@ def generate_corpus(
     names = list(weight_map)
     probabilities = [weight_map[name] for name in names]
 
+    # Explicit template requests may also name the labeled reentrancy set;
+    # the weighted default pool stays TEMPLATES-only.
+    pool = dict(TEMPLATES)
+    pool.update(REENTRANCY_TEMPLATES)
+
     corpus: List[CorpusContract] = []
     for index in range(size):
         template_name = rng.choices(names, probabilities)[0]
-        output: TemplateOutput = TEMPLATES[template_name](rng)
+        output: TemplateOutput = pool[template_name](rng)
         compiled = compile_source(output.source, output.contract_name)
         # A power-law-ish ETH balance: most contracts hold nothing, a few
         # hold a lot (the paper's "strongly biased" distribution, §6.2).

@@ -23,6 +23,8 @@ from typing import Callable, Dict, List, Set
 
 from repro.core.vulnerabilities import (
     ACCESSIBLE_SELFDESTRUCT,
+    REENTRANT_CALL,
+    STATE_WRITE_AFTER_CALL,
     TAINTED_DELEGATECALL,
     TAINTED_OWNER,
     TAINTED_SELFDESTRUCT,
@@ -1026,6 +1028,183 @@ contract %(name)s {
     )
 
 
+# --------------------------------------------------------------------------
+# Reentrancy stratum templates (labeled ground truth; separate registry so
+# the default corpus mix — and every report derived from it — is unchanged)
+# --------------------------------------------------------------------------
+
+
+def reentrant_withdraw(rng: random.Random) -> TemplateOutput:
+    """DAO-style withdraw: pay out before decrementing the balance."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    mapping(address => uint256) deposits;
+
+    function deposit() public {
+        deposits[msg.sender] += msg.value;
+    }
+    function withdraw(uint256 amount) public {
+        require(deposits[msg.sender] >= amount);
+        transfer(msg.sender, amount);
+        deposits[msg.sender] -= amount;
+    }%(decoys)s
+}
+""" % {"name": name, "decoys": _decoys(rng)}
+    return TemplateOutput(
+        template="reentrant_withdraw",
+        contract_name=name,
+        source=source,
+        labels={REENTRANT_CALL},
+        solidity_version=_version(rng),
+    )
+
+
+def cei_withdraw(rng: random.Random) -> TemplateOutput:
+    """The checks-effects-interactions fix of ``reentrant_withdraw``."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    mapping(address => uint256) deposits;
+
+    function deposit() public {
+        deposits[msg.sender] += msg.value;
+    }
+    function withdraw(uint256 amount) public {
+        require(deposits[msg.sender] >= amount);
+        deposits[msg.sender] -= amount;
+        transfer(msg.sender, amount);
+    }%(decoys)s
+}
+""" % {"name": name, "decoys": _decoys(rng)}
+    return TemplateOutput(
+        template="cei_withdraw",
+        contract_name=name,
+        source=source,
+        labels=set(),
+        solidity_version=_version(rng),
+    )
+
+
+def mutex_withdraw(rng: random.Random) -> TemplateOutput:
+    """Effects after the call, but behind a storage mutex: safe."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    mapping(address => uint256) deposits;
+    uint256 locked;
+
+    function deposit() public {
+        deposits[msg.sender] += msg.value;
+    }
+    function withdraw(uint256 amount) public {
+        require(locked == 0);
+        locked = 1;
+        require(deposits[msg.sender] >= amount);
+        transfer(msg.sender, amount);
+        deposits[msg.sender] -= amount;
+        locked = 0;
+    }%(decoys)s
+}
+""" % {"name": name, "decoys": _decoys(rng)}
+    return TemplateOutput(
+        template="mutex_withdraw",
+        contract_name=name,
+        source=source,
+        labels=set(),
+        solidity_version=_version(rng),
+    )
+
+
+def cross_function_reentrancy(rng: random.Random) -> TemplateOutput:
+    """Withdraw-all zeroes the balance after paying; the re-entered
+    fallback can spend the stale balance through ``moveTo`` meanwhile."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    mapping(address => uint256) deposits;
+
+    function deposit() public {
+        deposits[msg.sender] += msg.value;
+    }
+    function withdrawAll() public {
+        require(deposits[msg.sender] > 0);
+        transfer(msg.sender, deposits[msg.sender]);
+        deposits[msg.sender] = 0;
+    }
+    function moveTo(address to, uint256 value) public {
+        require(deposits[msg.sender] >= value);
+        deposits[msg.sender] -= value;
+        deposits[to] += value;
+    }%(decoys)s
+}
+""" % {"name": name, "decoys": _decoys(rng)}
+    return TemplateOutput(
+        template="cross_function_reentrancy",
+        contract_name=name,
+        source=source,
+        labels={REENTRANT_CALL},
+        solidity_version=_version(rng),
+    )
+
+
+def composite_reentrancy(rng: random.Random) -> TemplateOutput:
+    """The composite chain: an unguarded setter taints the curator slot,
+    which compromises the guard on a reentrant withdraw — the mutex-free
+    payout is only reachable *because* the owner is attacker-controlled."""
+    name = _name(rng)
+    owner = _owner_var(rng)
+    source = """
+contract %(name)s {
+    mapping(address => uint256) deposits;
+    address %(owner)s;
+
+    function setCurator(address who) public {
+        %(owner)s = who;
+    }
+    function deposit() public {
+        deposits[msg.sender] += msg.value;
+    }
+    function withdraw(uint256 amount) public {
+        require(msg.sender == %(owner)s);
+        require(deposits[msg.sender] >= amount);
+        transfer(msg.sender, amount);
+        deposits[msg.sender] -= amount;
+    }%(decoys)s
+}
+""" % {"name": name, "owner": owner, "decoys": _decoys(rng)}
+    return TemplateOutput(
+        template="composite_reentrancy",
+        contract_name=name,
+        source=source,
+        labels={REENTRANT_CALL, TAINTED_OWNER},
+        solidity_version=_version(rng),
+    )
+
+
+def unordered_payout(rng: random.Random) -> TemplateOutput:
+    """A write after the call to a path never checked before it: the
+    weaker checks-effects-interactions smell, not exploitable as a drain."""
+    name = _name(rng)
+    source = """
+contract %(name)s {
+    uint256 paidOut;
+
+    function payout(uint256 amount) public {
+        transfer(msg.sender, amount);
+        paidOut += amount;
+    }%(decoys)s
+}
+""" % {"name": name, "decoys": _decoys(rng)}
+    return TemplateOutput(
+        template="unordered_payout",
+        contract_name=name,
+        source=source,
+        labels={STATE_WRITE_AFTER_CALL},
+        solidity_version=_version(rng),
+    )
+
+
 TEMPLATES: Dict[str, Callable[[random.Random], TemplateOutput]] = {
     "safe_owned": safe_owned,
     "safe_token": safe_token,
@@ -1050,4 +1229,18 @@ TEMPLATES: Dict[str, Callable[[random.Random], TemplateOutput]] = {
     "array_write_unchecked": array_write_unchecked,
     "array_write_checked": array_write_checked,
     "computed_flag_write": computed_flag_write,
+}
+
+# The labeled reentrancy set, kept out of TEMPLATES (and hence out of
+# DEFAULT_WEIGHTS) so the default corpus mix and every report generated
+# from it stay byte-identical.  ``generate_corpus(templates=[...])``
+# resolves these names too; the precision benchmark iterates this
+# registry directly.
+REENTRANCY_TEMPLATES: Dict[str, Callable[[random.Random], TemplateOutput]] = {
+    "reentrant_withdraw": reentrant_withdraw,
+    "cei_withdraw": cei_withdraw,
+    "mutex_withdraw": mutex_withdraw,
+    "cross_function_reentrancy": cross_function_reentrancy,
+    "composite_reentrancy": composite_reentrancy,
+    "unordered_payout": unordered_payout,
 }

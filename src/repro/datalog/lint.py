@@ -272,6 +272,7 @@ def shipped_programs() -> List[Tuple[str, str]]:
     from repro.core.bytecode_datalog import (
         CONSERVATIVE_RULES,
         CORE_RULES,
+        REENTRANCY_RULES,
         WRITE2_RULES,
     )
     from repro.core.datalog_rules import ETHAINTER_RULES
@@ -282,6 +283,10 @@ def shipped_programs() -> List[Tuple[str, str]]:
         (
             "core/bytecode_datalog.py:CONSERVATIVE_RULES",
             CORE_RULES + WRITE2_RULES + CONSERVATIVE_RULES,
+        ),
+        (
+            "core/bytecode_datalog.py:REENTRANCY_RULES",
+            CORE_RULES + WRITE2_RULES + REENTRANCY_RULES,
         ),
     ]
 

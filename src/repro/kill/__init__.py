@@ -9,5 +9,17 @@ paper uses on its Ropsten fork.
 """
 
 from repro.kill.killer import EthainterKill, KillOutcome, KillReport
+from repro.kill.reentrancy import (
+    ReentrancyKill,
+    ReentrancyOutcome,
+    ReentrancyReport,
+)
 
-__all__ = ["EthainterKill", "KillOutcome", "KillReport"]
+__all__ = [
+    "EthainterKill",
+    "KillOutcome",
+    "KillReport",
+    "ReentrancyKill",
+    "ReentrancyOutcome",
+    "ReentrancyReport",
+]

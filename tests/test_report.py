@@ -109,7 +109,7 @@ class TestSweepReport:
         sweep.add(ContractReport.from_result(result))
         summary = sweep.summary()
         assert set(summary["stage_seconds"]) == {
-            "lift", "facts", "values", "storage", "guards", "taint", "detect",
+            "lift", "facts", "values", "storage", "guards", "ordering", "taint", "detect",
         }
         assert summary["cache"] == {"hits": 0, "misses": 0}
 
