@@ -41,6 +41,7 @@ from repro.core.orchestrator import (
     FaultPlan,
     OrchestratorOptions,
     OrchestratorStats,
+    ResultCache,
     run_sweep,
 )
 from repro.core.pipeline import ArtifactCache
@@ -67,6 +68,7 @@ __all__ = [
     "Finding",
     "OrchestratorOptions",
     "OrchestratorStats",
+    "ResultCache",
     "SweepReport",
     "UnknownKindError",
     "VULNERABILITY_KINDS",
@@ -101,6 +103,8 @@ def _options(
     max_retries: Optional[int],
     journal: Optional[str],
     resume: bool,
+    dedup: Optional[bool],
+    result_cache: Optional[str],
     on_event: Optional[Callable[[Dict], None]],
     options: Optional[OrchestratorOptions],
 ) -> OrchestratorOptions:
@@ -118,6 +122,10 @@ def _options(
     if journal is not None:
         options.journal_path = journal
     options.resume = resume or options.resume
+    if dedup is not None:
+        options.dedup = dedup
+    if result_cache is not None:
+        options.result_cache_path = result_cache
     if on_event is not None:
         options.on_event = on_event
     return options
@@ -134,6 +142,8 @@ def sweep(
     max_retries: Optional[int] = None,
     journal: Optional[str] = None,
     resume: bool = False,
+    dedup: Optional[bool] = None,
+    result_cache: Optional[str] = None,
     on_event: Optional[Callable[[Dict], None]] = None,
     options: Optional[OrchestratorOptions] = None,
 ) -> BatchSummary:
@@ -147,10 +157,21 @@ def sweep(
     input index regardless of completion order; a shared ``cache`` is
     honored in-process, while workers build per-process caches (caches do
     not cross process boundaries).
+
+    Duplicate submissions (same bytecode digest + config fingerprint) are
+    coalesced by default: one representative is analyzed per unique
+    identity and its entry fanned out to the duplicates (per-submission
+    ``index`` preserved; counters in ``summary.orchestrator`` under
+    ``tasks_total`` / ``tasks_unique`` / ``dedup_hits``).  ``dedup=False``
+    analyzes every submission naively.  ``result_cache`` names a directory
+    for a disk-backed cross-run :class:`ResultCache`: identities completed
+    by any earlier sweep are resolved without analysis
+    (``result_cache_hits``).
     """
     config = config or AnalysisConfig()
     resolved = _options(
-        executor, mp_context, max_retries, journal, resume, on_event, options
+        executor, mp_context, max_retries, journal, resume, dedup,
+        result_cache, on_event, options,
     )
     return run_sweep(bytecodes, (config,), jobs=jobs, cache=cache, options=resolved)[0]
 
@@ -166,6 +187,8 @@ def battery(
     max_retries: Optional[int] = None,
     journal: Optional[str] = None,
     resume: bool = False,
+    dedup: Optional[bool] = None,
+    result_cache: Optional[str] = None,
     on_event: Optional[Callable[[Dict], None]] = None,
     options: Optional[OrchestratorOptions] = None,
 ) -> List[BatchSummary]:
@@ -175,11 +198,14 @@ def battery(
     with ``configs``.  All configurations of one contract run in the same
     worker against a shared :class:`ArtifactCache`, so stages whose
     configuration fingerprints agree (the lift/facts/storage/guards prefix
-    for the Fig. 8 ablations) are computed once per contract.
+    for the Fig. 8 ablations) are computed once per contract.  Duplicate
+    submissions coalesce exactly as in :func:`sweep` (the identity spans
+    every battery configuration's fingerprint).
     """
     if not configs:
         raise ValueError("battery needs at least one configuration")
     resolved = _options(
-        executor, mp_context, max_retries, journal, resume, on_event, options
+        executor, mp_context, max_retries, journal, resume, dedup,
+        result_cache, on_event, options,
     )
     return run_sweep(bytecodes, configs, jobs=jobs, cache=cache, options=resolved)

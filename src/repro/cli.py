@@ -239,7 +239,19 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     """``repro corpus``: write a labeled synthetic corpus to disk."""
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    corpus = generate_corpus(args.size, seed=args.seed)
+    mainnet = None
+    if getattr(args, "mainnet", None):
+        from repro.corpus.generator import generate_mainnet
+
+        mainnet = generate_mainnet(
+            args.mainnet,
+            unique=args.size,
+            seed=args.seed,
+            duplication_seed=args.dup_seed,
+        )
+        corpus = mainnet.uniques
+    else:
+        corpus = generate_corpus(args.size, seed=args.seed)
     index = []
     for contract in corpus:
         stem = "%04d_%s" % (contract.index, contract.name)
@@ -260,6 +272,24 @@ def cmd_corpus(args: argparse.Namespace) -> int:
             }
         )
     (out_dir / "index.json").write_text(json.dumps(index, indent=2))
+    if mainnet is not None:
+        # Unique sources are on disk above; the manifest records the
+        # deployed population (assignments into the unique set) plus every
+        # seed, so the mainnet is reproducible from this file alone.
+        manifest = dict(mainnet.manifest)
+        manifest["assignments"] = mainnet.assignments
+        (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        print(
+            "wrote %d unique contracts to %s (mainnet manifest: %d "
+            "submissions, dup rate %.1f%%)"
+            % (
+                len(corpus),
+                out_dir,
+                mainnet.total,
+                100 * mainnet.manifest["duplicate_rate"],
+            )
+        )
+        return 0
     print("wrote %d contracts to %s" % (len(corpus), out_dir))
     return 0
 
@@ -291,7 +321,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     """
     from repro.core.report import ContractReport, SweepReport
 
-    corpus = generate_corpus(args.size, seed=args.seed)
+    mainnet = None
+    if getattr(args, "mainnet", None):
+        from repro.corpus.generator import generate_mainnet
+
+        mainnet = generate_mainnet(
+            args.mainnet,
+            unique=args.size,
+            seed=args.seed,
+            duplication_seed=args.dup_seed,
+        )
+        corpus = mainnet.contracts()
+    else:
+        corpus = generate_corpus(args.size, seed=args.seed)
     config = AnalysisConfig(
         value_analysis=args.value_analysis,
         engine=args.engine,
@@ -307,6 +349,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         journal=args.resume,
         resume=bool(args.resume),
+        dedup=False if args.no_dedup else None,
+        result_cache=args.result_cache,
     )
     sweep = SweepReport()
     for contract, entry in zip(corpus, summary.entries):
@@ -321,8 +365,33 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # stays machine-parseable.
     out = sys.stderr if args.json == "-" else sys.stdout
     stats = sweep.summary()
+    if mainnet is not None:
+        manifest = mainnet.manifest
+        print(
+            "synthetic mainnet: %d submissions over %d uniques "
+            "(dup rate %.1f%%, seed=%s dup_seed=%s)"
+            % (
+                manifest["total"],
+                manifest["unique"],
+                100 * manifest["duplicate_rate"],
+                manifest["seed"],
+                manifest["duplication_seed"],
+            ),
+            file=out,
+        )
     print("analyzed %d contracts (%d flagged, %d errors)" % (
         stats["analyzed"], stats["flagged"], stats["errors"]), file=out)
+    if summary.tasks_total and summary.dedup_hits + summary.result_cache_hits:
+        print(
+            "dedup: %d submissions -> %d unique (%d fan-out, %d result-cache)"
+            % (
+                summary.tasks_total,
+                summary.tasks_unique,
+                summary.dedup_hits,
+                summary.result_cache_hits,
+            ),
+            file=out,
+        )
     print("flag rate: %.2f%%  avg time: %.1f ms" % (
         100 * stats["flag_rate"], 1000 * stats["avg_elapsed_seconds"]), file=out)
     for kind, count in stats["kind_counts"].items():
@@ -586,6 +655,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep executor: the supervised orchestrator, the legacy "
         "process pool, or in-process serial (auto picks by --jobs)",
     )
+    sweep.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable content-addressed coalescing of duplicate "
+        "submissions (escape hatch; every submission analyzed naively)",
+    )
+    sweep.add_argument(
+        "--result-cache",
+        metavar="DIR",
+        help="disk-backed cross-run result cache directory: identities "
+        "(bytecode digest + config fingerprint) completed by any earlier "
+        "sweep are resolved without analysis",
+    )
+    sweep.add_argument(
+        "--mainnet",
+        type=int,
+        metavar="TOTAL",
+        help="sweep a synthetic mainnet of TOTAL submissions drawn with "
+        "Zipf-like duplication over --size unique contracts (§6.1 shape)",
+    )
+    sweep.add_argument(
+        "--dup-seed",
+        type=int,
+        help="seed for the --mainnet duplication distribution "
+        "(default: --seed)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     compile_cmd = commands.add_parser("compile", help="compile MiniSol source")
@@ -608,6 +703,20 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--size", type=int, default=100)
     corpus.add_argument("--seed", type=int, default=2020)
     corpus.add_argument("--out", default="corpus-out")
+    corpus.add_argument(
+        "--mainnet",
+        type=int,
+        metavar="TOTAL",
+        help="also write a synthetic-mainnet manifest: TOTAL submissions "
+        "assigned over the --size unique contracts with Zipf-like "
+        "duplication (manifest.json records seeds and template mix)",
+    )
+    corpus.add_argument(
+        "--dup-seed",
+        type=int,
+        help="seed for the --mainnet duplication distribution "
+        "(default: --seed)",
+    )
     corpus.set_defaults(func=cmd_corpus)
 
     lint_rules = commands.add_parser(

@@ -109,6 +109,30 @@ class BatchSummary:
     def cache_misses(self) -> int:
         return sum(entry.cache_misses for entry in self.entries)
 
+    def _orchestrator_count(self, name: str) -> int:
+        value = self.orchestrator.get(name, 0)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    @property
+    def tasks_total(self) -> int:
+        """Submissions in the sweep (duplicates included)."""
+        return self._orchestrator_count("tasks_total")
+
+    @property
+    def tasks_unique(self) -> int:
+        """Unique sweep identities (sha256(bytecode) + config fingerprint)."""
+        return self._orchestrator_count("tasks_unique")
+
+    @property
+    def dedup_hits(self) -> int:
+        """Duplicate submissions resolved by fanning out a representative."""
+        return self._orchestrator_count("dedup_hits")
+
+    @property
+    def result_cache_hits(self) -> int:
+        """Identities resolved from the cross-run disk result cache."""
+        return self._orchestrator_count("result_cache_hits")
+
     def kind_counts(self) -> Dict[str, int]:
         from repro.core.vulnerabilities import VULNERABILITY_KINDS
 

@@ -30,10 +30,29 @@ locks a dying worker could leave held) and adds, over the bare
   <journal>`` skips completed contracts after an interruption.  Harness
   faults (crash/watchdog/task_failed entries) are deliberately *not*
   journaled, so a resumed run retries them;
+* **content-addressed task coalescing** — the paper's headline scalability
+  lever (§6.1: ~38M deployed contracts collapse to ~240K unique
+  bytecodes): pending tasks are grouped by the same ``sha256(bytecode) +
+  config fingerprint`` identity the journal uses, one *representative*
+  task runs per group, and its row is fanned out to every duplicate with
+  the per-submission index preserved.  Throughput scales with *unique*
+  code, not submissions; a representative's retry/crash outcome resolves
+  the whole group at once (one ``error_kind`` per group, not N).
+  ``OrchestratorOptions(dedup=False)`` (CLI ``--no-dedup``) restores the
+  naive one-task-per-submission path;
+* **cross-run result cache** — an optional supervisor-owned, disk-backed
+  :class:`ResultCache` keyed by the same identity; repeated sweeps and
+  warm daemon-style workloads resolve duplicate submissions without any
+  analysis (``result_cache_hits``).  Harness-fault rows are never stored;
+* **chunked IPC dispatch** — tasks travel to workers in batches of
+  ``dispatch_chunk`` (auto-sized like the legacy pool's ``chunksize``), so
+  per-task pipe round-trips amortize in the small-task regime; replies
+  stay per-task so crash isolation still costs one contract;
 * **progress events** — heartbeat / task_done / retry / worker_crashed /
-  watchdog_kill / recycle / resumed events via ``on_event``, with the
-  counters rolled into :class:`BatchSummary.orchestrator`, sweep JSON
-  reports, and ``--profile`` output.
+  watchdog_kill / recycle / resumed / dedup_hit / result_cache_hit events
+  via ``on_event``, with the counters rolled into
+  :class:`BatchSummary.orchestrator`, sweep JSON reports, and
+  ``--profile`` output.
 
 :func:`run_sweep` is the single entry point; ``executor="pool"`` keeps the
 legacy :func:`repro.core.batch._pool_run` path as the overhead baseline,
@@ -43,6 +62,7 @@ silent) when worker processes cannot be spawned.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing
 import os
@@ -143,6 +163,16 @@ class OrchestratorOptions:
     cache_entries: int = 256
     journal_path: Optional[str] = None
     resume: bool = False
+    # Coalesce submissions sharing a sweep identity (sha256(bytecode) +
+    # config fingerprint): one representative analysis per unique identity,
+    # fanned out to every duplicate.  False restores one task per
+    # submission (the ``--no-dedup`` escape hatch).
+    dedup: bool = True
+    # Directory for the cross-run ResultCache; None disables it.
+    result_cache_path: Optional[str] = None
+    # Tasks per worker dispatch message; None auto-sizes from the task
+    # count (like the legacy pool's chunksize), capped by recycle_after.
+    dispatch_chunk: Optional[int] = None
     on_event: Optional[Callable[[Dict], None]] = None
     fault_plan: Optional[FaultPlan] = None
 
@@ -167,6 +197,14 @@ class OrchestratorStats:
     watchdog_kills: int = 0
     recycles: int = 0
     resumed: int = 0  # tasks resolved from the checkpoint journal
+    # Dedup accounting: submissions vs unique sweep identities, duplicates
+    # resolved by fanning out a representative's row, and representatives
+    # resolved from the cross-run result cache without any analysis.
+    tasks_total: int = 0
+    tasks_unique: int = 0
+    dedup_hits: int = 0
+    result_cache_hits: int = 0
+    ipc_batches: int = 0  # dispatch messages sent (dispatched / this = mean batch)
     heartbeats: int = 0
     elapsed_seconds: float = 0.0
 
@@ -277,6 +315,88 @@ class SweepJournal:
         self._handle.close()
 
 
+# -------------------------------------------------------------- result cache
+
+
+# Error taxonomy buckets that describe the *harness*, not the contract:
+# never fanned into the result cache, never journaled — a later run gets a
+# fresh attempt (the fault may have been environmental).
+HARNESS_FAULT_KINDS = frozenset(
+    {"worker_crashed", "watchdog_killed", "task_failed"}
+)
+
+
+def _is_harness_fault_row(row: Sequence[BatchEntry]) -> bool:
+    return any(entry.error_kind in HARNESS_FAULT_KINDS for entry in row)
+
+
+class ResultCache:
+    """Supervisor-owned, disk-backed cache of completed sweep rows.
+
+    Keyed by the same ``sha256(bytecode) + config fingerprint`` identity as
+    the checkpoint journal and :class:`~repro.core.pipeline.ArtifactCache`,
+    and storing the journal's :class:`BatchEntry` dict serialization — one
+    JSON file per identity (sharded by key-digest prefix), written
+    atomically via a temp file + ``os.replace``.  Repeated sweeps and warm
+    daemon-style workloads (most submissions duplicate bytecode) resolve
+    entire groups without any analysis.  Corrupt, torn, or mismatched
+    files read as misses; analysis errors (``timeout``, ``lift-error``)
+    are stored — the identity fingerprints the budget that produced them —
+    but harness faults never are.
+    """
+
+    VERSION = 1
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        os.makedirs(root, exist_ok=True)
+
+    def _path(self, key: str) -> str:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(self.root, digest[:2], digest + ".json")
+
+    def get(self, key: str) -> Optional[List[Dict]]:
+        """The cached entry dicts for ``key``, or None (counts hit/miss)."""
+        try:
+            with open(self._path(key)) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(record, dict)
+            or record.get("version") != self.VERSION
+            or record.get("key") != key
+            or not isinstance(record.get("entries"), list)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record["entries"]
+
+    def put(self, key: str, entries: List[Dict]) -> None:
+        path = self._path(key)
+        if os.path.exists(path):
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "cache": "repro-sweep-results",
+            "version": self.VERSION,
+            "key": key,
+            "entries": entries,
+        }
+        # No sort_keys, same as the journal: entry dict ordering must
+        # survive the round-trip for byte-identical replayed reports.
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+        self.stores += 1
+
+
 # ------------------------------------------------------------------- worker
 
 
@@ -301,9 +421,14 @@ def _worker_main(
 
     Spawn-safe by construction: a top-level function whose arguments are
     all picklable; per-worker state (the artifact cache) is built here,
-    never inherited.  Tasks are ``(index, bytecode, attempt)``; replies are
-    ``("done", wid, index, attempt, row)``, ``("fail", wid, index, attempt,
-    message)`` or ``("recycle", wid)`` before a clean exit.
+    never inherited.  Each message is a *chunk* — a list of ``(index,
+    bytecode, attempt)`` tasks, processed strictly in order so the
+    supervisor always knows which task is in flight (the head of the
+    chunk's unacknowledged remainder).  Replies stay per-task —
+    ``("done", wid, index, attempt, row)`` or ``("fail", wid, index,
+    attempt, message)`` — so crash isolation still costs one contract;
+    only the dispatch direction is batched.  ``("recycle", wid)`` precedes
+    a clean exit, only ever between chunks.
     """
     cache = ArtifactCache(cache_entries) if cache_entries > 0 else None
     done = 0
@@ -311,28 +436,29 @@ def _worker_main(
         message = conn.recv()
         if message is None:
             return
-        index, runtime, attempt = message
-        try:
-            if fault_plan is not None:
-                fault_plan.apply(index, attempt)
-            row = tuple(
-                _entry_from_result(
-                    index, EthainterAnalysis(config, cache=cache).analyze(runtime)
+        for index, runtime, attempt in message:
+            try:
+                if fault_plan is not None:
+                    fault_plan.apply(index, attempt)
+                row = tuple(
+                    _entry_from_result(
+                        index,
+                        EthainterAnalysis(config, cache=cache).analyze(runtime),
+                    )
+                    for config in configs
                 )
-                for config in configs
-            )
-            conn.send(("done", worker_id, index, attempt, row))
-        except Exception as error:  # reported; the supervisor decides retry
-            conn.send(
-                (
-                    "fail",
-                    worker_id,
-                    index,
-                    attempt,
-                    "%s: %s" % (type(error).__name__, error),
+                conn.send(("done", worker_id, index, attempt, row))
+            except Exception as error:  # reported; the supervisor decides retry
+                conn.send(
+                    (
+                        "fail",
+                        worker_id,
+                        index,
+                        attempt,
+                        "%s: %s" % (type(error).__name__, error),
+                    )
                 )
-            )
-        done += 1
+            done += 1
         if recycle_after is not None and done >= recycle_after:
             conn.send(("recycle", worker_id))
             return
@@ -341,13 +467,19 @@ def _worker_main(
 class _Worker:
     """Supervisor-side view of one worker process."""
 
-    __slots__ = ("process", "conn", "current", "retiring")
+    __slots__ = ("process", "conn", "queue", "started", "retiring")
 
     def __init__(self, process, conn):
         self.process = process
         self.conn = conn
-        # (index, attempt, dispatched_at) for the in-flight task, if any.
-        self.current: Optional[Tuple[int, int, float]] = None
+        # Dispatched-but-unacknowledged (index, attempt) tasks, in the
+        # order the worker processes them: the head is the task in flight
+        # (or about to be), so a crash charges exactly the head and the
+        # rest of the chunk is requeued uncharged.
+        self.queue: "deque[Tuple[int, int]]" = deque()
+        # When the head task started (the previous reply's arrival, or the
+        # chunk's dispatch); None while the queue is empty.
+        self.started: Optional[float] = None
         self.retiring = False
 
 
@@ -393,6 +525,7 @@ class Orchestrator:
         self.pending: "deque[Tuple[int, int, float]]" = deque()  # index, attempt, not_before
         self.workers: Dict[int, _Worker] = {}
         self.next_worker_id = 0
+        self.chunk = 1  # set per run() from dispatch_chunk / task count
 
     # -- events
 
@@ -472,24 +605,35 @@ class Orchestrator:
 
     # -- supervision steps
 
+    def _drain(self, worker: _Worker) -> None:
+        """Read any replies a dead (or doomed) worker managed to send
+        before its pipe is closed: tasks it *completed* get their real
+        rows, so the crash charge lands on the task actually in flight."""
+        try:
+            while worker.conn.poll(0):
+                self._handle_result(worker.conn.recv())
+        except (EOFError, OSError):
+            pass  # torn mid-message; everything drained so far stands
+
     def _reap(self) -> None:
         for worker_id, worker in list(self.workers.items()):
             if worker.process.exitcode is None:
                 continue
             exitcode = worker.process.exitcode
             worker.process.join()
+            self._drain(worker)
             worker.conn.close()
             del self.workers[worker_id]
-            held = worker.current
             if exitcode == 0:
-                # Clean exit (recycle, or a shutdown race): a task that was
-                # dispatched but never picked up is requeued, not charged.
-                if held is not None:
-                    self._requeue(held[0], held[1])
+                # Clean exit (recycle, or a shutdown race): tasks that were
+                # dispatched but never picked up are requeued, not charged.
+                for index, attempt in worker.queue:
+                    self._requeue(index, attempt)
             else:
                 self.stats.crashes += 1
-                if held is not None:
-                    index, attempt, started = held
+                if worker.queue:
+                    index, attempt = worker.queue.popleft()
+                    started = worker.started or time.monotonic()
                     self._emit(
                         "worker_crashed",
                         index=index,
@@ -503,8 +647,13 @@ class Orchestrator:
                         "contract %d" % (exitcode, index),
                         time.monotonic() - started,
                     )
+                    # The rest of the crashed worker's chunk was never
+                    # started: requeue uncharged.
+                    for idx, att in worker.queue:
+                        self._requeue(idx, att)
                 else:
                     self._emit("worker_crashed", index=None, exitcode=exitcode)
+            worker.queue.clear()
             if self._unresolved() and len(self.workers) < self.jobs:
                 self._spawn_worker()
 
@@ -513,29 +662,40 @@ class Orchestrator:
             return
         now = time.monotonic()
         for worker_id, worker in list(self.workers.items()):
-            if worker.current is None or worker.process.exitcode is not None:
+            if (
+                not worker.queue
+                or worker.started is None
+                or worker.process.exitcode is not None
+            ):
                 continue
-            index, attempt, started = worker.current
-            if now - started <= self.watchdog:
+            if now - worker.started <= self.watchdog:
                 continue
+            started = worker.started
             worker.process.kill()
             worker.process.join(timeout=5.0)
+            self._drain(worker)
             worker.conn.close()
             del self.workers[worker_id]
             self.stats.watchdog_kills += 1
-            self._emit(
-                "watchdog_kill",
-                index=index,
-                attempt=attempt,
-                stuck_seconds=now - started,
-            )
-            self._fault_row(
-                index,
-                attempt,
-                "watchdog_killed: contract %d still running after %.3fs "
-                "(budget x grace = %.3fs)" % (index, now - started, self.watchdog),
-                now - started,
-            )
+            if worker.queue:  # _drain may have resolved the whole chunk
+                index, attempt = worker.queue.popleft()
+                self._emit(
+                    "watchdog_kill",
+                    index=index,
+                    attempt=attempt,
+                    stuck_seconds=now - started,
+                )
+                self._fault_row(
+                    index,
+                    attempt,
+                    "watchdog_killed: contract %d still running after %.3fs "
+                    "(budget x grace = %.3fs)"
+                    % (index, now - started, self.watchdog),
+                    now - started,
+                )
+                for idx, att in worker.queue:
+                    self._requeue(idx, att)
+                worker.queue.clear()
             if self._unresolved() and len(self.workers) < self.jobs:
                 self._spawn_worker()
 
@@ -547,29 +707,40 @@ class Orchestrator:
             if not self.pending:
                 return
             if (
-                worker.current is not None
+                len(worker.queue) > 1  # refill while the last task runs
                 or worker.retiring
                 or worker.process.exitcode is not None
             ):
                 continue
-            # Honor retry backoff: scan the (small) queue for a ready task.
+            # Honor retry backoff: scan the (small) queue for ready tasks,
+            # gathering up to one chunk per dispatch message.
+            batch: List[Tuple[int, bytes, int]] = []
             for _ in range(len(self.pending)):
+                if len(batch) >= self.chunk or not self.pending:
+                    break
                 index, attempt, not_before = self.pending[0]
                 if not_before <= now:
                     self.pending.popleft()
-                    try:
-                        worker.conn.send(
-                            (index, self.tasks_by_index[index], attempt)
-                        )
-                    except (OSError, ValueError):
-                        # Worker died before taking the task: requeue it
-                        # uncharged; _reap collects the corpse.
-                        self._requeue(index, attempt)
-                        break
-                    worker.current = (index, attempt, time.monotonic())
-                    self.stats.dispatched += 1
-                    break
-                self.pending.rotate(-1)
+                    batch.append((index, self.tasks_by_index[index], attempt))
+                else:
+                    self.pending.rotate(-1)
+            if not batch:
+                continue
+            try:
+                worker.conn.send(batch)
+            except (OSError, ValueError):
+                # Worker died before taking the chunk: requeue it
+                # uncharged; _reap collects the corpse.
+                for index, _runtime, attempt in batch:
+                    self._requeue(index, attempt)
+                continue
+            if not worker.queue:
+                worker.started = time.monotonic()
+            worker.queue.extend(
+                (index, attempt) for index, _runtime, attempt in batch
+            )
+            self.stats.dispatched += len(batch)
+            self.stats.ipc_batches += 1
 
     def _handle_result(self, message) -> None:
         kind = message[0]
@@ -583,9 +754,9 @@ class Orchestrator:
             return
         _, worker_id, index, attempt, payload = message
         worker = self.workers.get(worker_id)
-        if worker is not None and worker.current is not None:
-            if worker.current[0] == index:
-                worker.current = None
+        if worker is not None and worker.queue and worker.queue[0][0] == index:
+            worker.queue.popleft()
+            worker.started = time.monotonic() if worker.queue else None
         if kind == "done":
             row = tuple(
                 _entry_with_attempts(entry, attempt + 1) for entry in payload
@@ -614,10 +785,22 @@ class Orchestrator:
 
     # -- main loop
 
+    def _effective_chunk(self, task_count: int) -> int:
+        """Tasks per dispatch message: explicit, or auto-sized like the
+        legacy pool's chunksize, capped so recycling still bounds worker
+        lifetime and no single worker hoards the queue."""
+        chunk = self.options.dispatch_chunk
+        if chunk is None:
+            chunk = min(32, task_count // (max(1, self.jobs) * 4))
+        if self.options.recycle_after is not None:
+            chunk = min(chunk, self.options.recycle_after)
+        return max(1, chunk)
+
     def run(
         self, tasks: List[Tuple[int, bytes]]
     ) -> Dict[int, Tuple[BatchEntry, ...]]:
         self.tasks_by_index = dict(tasks)
+        self.chunk = self._effective_chunk(len(tasks))
         for index, _runtime in tasks:
             self._requeue(index, attempt=0)
         try:
@@ -657,9 +840,8 @@ class Orchestrator:
                         completed=self.stats.completed,
                         total=len(self.tasks_by_index),
                         in_flight=sum(
-                            1
+                            len(worker.queue)
                             for worker in self.workers.values()
-                            if worker.current is not None
                         ),
                         retries=self.stats.retries,
                         crashes=self.stats.crashes,
@@ -694,6 +876,32 @@ def _entry_with_attempts(entry: BatchEntry, attempts: int) -> BatchEntry:
     if attempts != entry.attempts:
         entry.attempts = attempts
     return entry
+
+
+def _entry_with_index(entry: BatchEntry, index: int) -> BatchEntry:
+    """A representative's entry re-addressed to a duplicate submission.
+
+    Mutable fields are copied (never aliased) so per-entry consumers can
+    edit one submission's report without corrupting its group; everything
+    else — verdicts, warnings, timings, counters — is the representative's
+    result verbatim, exactly what a journal replay of the shared identity
+    would reconstruct."""
+    return BatchEntry(
+        index=index,
+        kinds=entry.kinds,
+        error=entry.error,
+        elapsed_seconds=entry.elapsed_seconds,
+        statement_count=entry.statement_count,
+        deadline_exceeded=entry.deadline_exceeded,
+        stage_seconds=dict(entry.stage_seconds),
+        cache_hits=entry.cache_hits,
+        cache_misses=entry.cache_misses,
+        datalog=dict(entry.datalog),
+        block_count=entry.block_count,
+        warnings=[dict(warning) for warning in entry.warnings],
+        precision=dict(entry.precision),
+        attempts=entry.attempts,
+    )
 
 
 # ------------------------------------------------------------------ driving
@@ -742,6 +950,14 @@ def run_sweep(
     by ``options.executor`` (default: supervised orchestrator when
     ``jobs > 1``); every summary carries the sweep's
     :class:`OrchestratorStats` counters in ``summary.orchestrator``.
+
+    With ``options.dedup`` (the default) submissions are coalesced by
+    sweep identity — ``sha256(bytecode) + config fingerprint`` — before
+    dispatch: one representative runs per unique identity and its row is
+    fanned out to every duplicate with the submission index preserved, so
+    analysis cost scales with *unique* bytecode (§6.1's 38M→240K dedup).
+    ``options.result_cache_path`` additionally resolves representatives
+    from a disk-backed :class:`ResultCache` shared across runs.
     """
     if not configs:
         raise ValueError("run_sweep needs at least one configuration")
@@ -766,17 +982,27 @@ def run_sweep(
     stats = OrchestratorStats(mode=executor)
     degraded_reason: Optional[str] = None
 
-    # Resolve the journal identity and resumed rows up front (every
-    # executor but the legacy pool shares this path).
+    def _emit(event: str, **data) -> None:
+        if options.on_event is not None:
+            payload = {"event": event}
+            payload.update(data)
+            options.on_event(payload)
+
+    # Every submission's sweep identity (the journal/result-cache/dedup
+    # key): bytecode digest + the full configuration fingerprint.
+    fingerprint = sweep_fingerprint(configs)
+    keys: Dict[int, str] = {
+        index: journal_key(runtime, fingerprint) for index, runtime in tasks
+    }
+    stats.tasks_total = len(tasks)
+    stats.tasks_unique = len(set(keys.values()))
+
+    # Resolve the journal and resumed rows up front (every executor but
+    # the legacy pool shares this path).
     journal: Optional[SweepJournal] = None
-    keys: Dict[int, str] = {}
     rows: Dict[int, Tuple[BatchEntry, ...]] = {}
     remaining = tasks
     if options.journal_path:
-        fingerprint = sweep_fingerprint(configs)
-        keys = {
-            index: journal_key(runtime, fingerprint) for index, runtime in tasks
-        }
         journal = SweepJournal(
             options.journal_path, fingerprint, resume=options.resume
         )
@@ -788,30 +1014,65 @@ def run_sweep(
                     _entry_from_dict(entry, index=index) for entry in entries
                 )
                 stats.resumed += 1
-                if options.on_event is not None:
-                    options.on_event({"event": "resumed", "index": index})
+                _emit("resumed", index=index)
             else:
                 remaining.append((index, runtime))
 
+    # Content-addressed coalescing: group what's left by identity; only
+    # group representatives (first submission per identity) are executed.
+    groups: Dict[str, List[int]] = {}
+    if options.dedup:
+        run_list: List[Tuple[int, bytes]] = []
+        for index, runtime in remaining:
+            members = groups.get(keys[index])
+            if members is None:
+                groups[keys[index]] = [index]
+                run_list.append((index, runtime))
+            else:
+                members.append(index)
+    else:
+        run_list = remaining
+
+    # Cross-run result cache: tasks whose identity completed in an
+    # earlier sweep skip analysis entirely (lookups happen before any
+    # dispatch; the write-back below runs at sweep end).
+    result_cache: Optional[ResultCache] = None
+    if options.result_cache_path:
+        result_cache = ResultCache(options.result_cache_path)
+        uncached: List[Tuple[int, bytes]] = []
+        for index, runtime in run_list:
+            entries = result_cache.get(keys[index])
+            if entries is not None and len(entries) == len(configs):
+                rows[index] = tuple(
+                    _entry_from_dict(entry, index=index) for entry in entries
+                )
+                stats.result_cache_hits += 1
+                if journal is not None:
+                    journal.record(keys[index], index, rows[index])
+                _emit("result_cache_hit", index=index)
+            else:
+                uncached.append((index, runtime))
+        run_list = uncached
+
     try:
-        if executor == "orchestrator" and remaining:
+        if executor == "orchestrator" and run_list:
             supervisor = Orchestrator(
                 configs, jobs, options, stats, journal=journal, keys=keys
             )
             try:
-                rows.update(supervisor.run(remaining))
+                rows.update(supervisor.run(run_list))
             except _PoolBroken as broken:
                 degraded_reason = str(broken)
                 rows.update(supervisor.rows)
-                remaining = [
-                    task for task in remaining if task[0] not in rows
+                run_list = [
+                    task for task in run_list if task[0] not in rows
                 ]
                 executor = "serial"
-        elif executor == "pool" and remaining:
+        elif executor == "pool" and run_list:
             worker = _analyze_one if len(configs) == 1 else _analyze_battery_one
             context = resolve_mp_context(options.mp_context)
             pooled, degraded_reason = _pool_run(
-                remaining,
+                run_list,
                 worker,
                 configs,
                 jobs,
@@ -819,9 +1080,9 @@ def run_sweep(
                 context=context,
             )
             rows.update({row[0].index: tuple(row) for row in pooled})
-            remaining = []
+            run_list = []
 
-        if executor == "serial" and remaining:
+        if executor == "serial" and run_list:
             serial_cache = cache
             if serial_cache is None:
                 serial_cache = ArtifactCache(
@@ -829,7 +1090,7 @@ def run_sweep(
                 )
             rows.update(
                 _serial_rows(
-                    remaining,
+                    run_list,
                     configs,
                     serial_cache,
                     stats,
@@ -841,6 +1102,29 @@ def run_sweep(
     finally:
         if journal is not None:
             journal.close()
+
+    # Persist completed rows for future runs (put() skips existing keys;
+    # harness faults are never stored, so a later sweep retries them).
+    if result_cache is not None:
+        for index, row in rows.items():
+            if not _is_harness_fault_row(row):
+                result_cache.put(
+                    keys[index], [_entry_to_dict(entry) for entry in row]
+                )
+
+    # Fan each representative's row out to its duplicate group — the
+    # representative's outcome (verdicts, analysis errors, even a harness
+    # fault after retries) resolves the whole group at once.
+    for key, members in groups.items():
+        row = rows.get(members[0])
+        if row is None:
+            continue  # degraded mid-run before the representative resolved
+        for index in members[1:]:
+            rows[index] = tuple(
+                _entry_with_index(entry, index) for entry in row
+            )
+            stats.dedup_hits += 1
+            _emit("dedup_hit", index=index, representative=members[0])
 
     stats.elapsed_seconds = time.monotonic() - started
     if degraded_reason is not None:

@@ -18,7 +18,12 @@ benchmarks compute exact precision/recall where the paper relied on manual
 inspection.
 """
 
-from repro.corpus.generator import CorpusContract, generate_corpus
+from repro.corpus.generator import (
+    CorpusContract,
+    SyntheticMainnet,
+    generate_corpus,
+    generate_mainnet,
+)
 from repro.corpus.templates import (
     REENTRANCY_TEMPLATES,
     TEMPLATES,
@@ -27,7 +32,9 @@ from repro.corpus.templates import (
 
 __all__ = [
     "generate_corpus",
+    "generate_mainnet",
     "CorpusContract",
+    "SyntheticMainnet",
     "TEMPLATES",
     "REENTRANCY_TEMPLATES",
     "TemplateOutput",

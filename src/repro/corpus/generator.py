@@ -7,6 +7,14 @@ vulnerability over 240K mainnet contracts; a pure-benign majority at our
 scale keeps flag rates in the low percent range), with a long tail of
 vulnerable and adversarial templates.
 
+``generate_mainnet(total, unique)`` layers the paper's §6.1 duplication
+structure on top: ~38M deployed contracts collapse to ~240K unique
+bytecodes, i.e. the deployed population is a heavily skewed fan-out over a
+small unique set.  The synthetic mainnet draws ``unique`` distinct
+contracts with :func:`generate_corpus`, then assigns the remaining
+submissions to them with Zipf-like weights under a dedicated, recorded
+duplication seed — the dedup-aware sweep benchmarks run against this shape.
+
 Every contract is compiled on generation; a template whose instance fails to
 compile is a generator bug and raises immediately.
 """
@@ -140,3 +148,90 @@ def generate_corpus(
             )
         )
     return corpus
+
+
+@dataclass
+class SyntheticMainnet:
+    """A deployed-population view over a small unique contract set.
+
+    ``uniques`` are the distinct contracts; ``assignments[i]`` is the index
+    into ``uniques`` backing submission ``i``.  ``manifest`` records every
+    knob (seeds, Zipf exponent, template mix, measured duplication) so a
+    benchmark run is reproducible from the manifest alone.
+    """
+
+    uniques: List[CorpusContract]
+    assignments: List[int]
+    manifest: Dict[str, object]
+
+    @property
+    def total(self) -> int:
+        return len(self.assignments)
+
+    def contracts(self) -> List[CorpusContract]:
+        """The deployed population, one entry per submission."""
+        return [self.uniques[i] for i in self.assignments]
+
+    def bytecodes(self) -> List[bytes]:
+        return [self.uniques[i].compiled.runtime for i in self.assignments]
+
+
+def generate_mainnet(
+    total: int,
+    unique: Optional[int] = None,
+    seed: int = 2020,
+    duplication_seed: Optional[int] = None,
+    zipf_s: float = 1.1,
+    weights: Optional[Dict[str, float]] = None,
+    templates: Optional[Sequence[str]] = None,
+) -> SyntheticMainnet:
+    """Generate a ``total``-contract deployed population over ``unique``
+    distinct bytecodes (default: ~10% of ``total``, at least 1).
+
+    Content generation (``seed``) and duplication structure
+    (``duplication_seed``, defaulting to ``seed``) use independent RNG
+    streams, so the same unique set can be re-deployed under different
+    duplication draws.  Every unique contract appears at least once; the
+    remaining ``total - unique`` submissions are drawn with Zipf-like
+    weights ``1 / (rank + 1) ** zipf_s`` over the unique ranks, then the
+    deployment order is shuffled (duplicates interleave as on a real
+    chain rather than clustering).
+    """
+    if total < 1:
+        raise ValueError("total must be >= 1")
+    if unique is None:
+        unique = max(1, total // 10)
+    if not 1 <= unique <= total:
+        raise ValueError("unique must be in [1, total]")
+    if duplication_seed is None:
+        duplication_seed = seed
+
+    uniques = generate_corpus(unique, seed=seed, weights=weights, templates=templates)
+
+    dup_rng = random.Random(duplication_seed)
+    ranks = list(range(unique))
+    zipf_weights = [1.0 / (rank + 1) ** zipf_s for rank in ranks]
+    assignments = list(ranks)  # every unique deployed at least once
+    if total > unique:
+        assignments.extend(
+            dup_rng.choices(ranks, weights=zipf_weights, k=total - unique)
+        )
+    dup_rng.shuffle(assignments)
+
+    template_mix: Dict[str, int] = {}
+    for contract in uniques:
+        template_mix[contract.template] = template_mix.get(contract.template, 0) + 1
+    unique_bytecodes = len({c.compiled.runtime for c in uniques})
+    manifest: Dict[str, object] = {
+        "kind": "synthetic_mainnet",
+        "total": total,
+        "unique": unique,
+        "unique_bytecodes": unique_bytecodes,
+        "seed": seed,
+        "duplication_seed": duplication_seed,
+        "zipf_s": zipf_s,
+        "dedup_ratio": total / unique,
+        "duplicate_rate": (total - unique) / total,
+        "template_mix": dict(sorted(template_mix.items())),
+    }
+    return SyntheticMainnet(uniques=uniques, assignments=assignments, manifest=manifest)

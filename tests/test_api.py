@@ -114,6 +114,8 @@ class TestSweepAndBattery:
             max_retries=None,
             journal=None,
             resume=False,
+            dedup=None,
+            result_cache=None,
             on_event=None,
             options=options,
         )
@@ -133,6 +135,8 @@ class TestSweepAndBattery:
             max_retries=1,
             journal="j.jsonl",
             resume=True,
+            dedup=None,
+            result_cache=None,
             on_event=None,
             options=options,
         )
