@@ -1,0 +1,172 @@
+"""Serving throughput: warm completed-work reuse vs cold analysis.
+
+The daemon exists so the §6.1 duplicate-heavy regime pays per *unique*
+contract, not per request: a request whose identity has already been
+served resolves from the completed-row cache without touching the
+analysis pipeline.  This benchmark pins that property end to end over
+real HTTP — the warm pass (same contracts again) must be at least
+``MIN_SPEEDUP`` times faster than the cold pass (first sight of every
+contract), and a duplicate-heavy ``/batch`` must analyze only the unique
+identities.  Results are written to ``BENCH_serve.json`` (path
+overridable via the ``BENCH_SERVE_JSON`` env var) so CI tracks serving
+throughput from artifact to artifact.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+from typing import Dict
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.corpus import generate_corpus
+from repro.serve import AnalysisServer, ServeOptions
+
+MIN_SPEEDUP = 5.0  # warm pass wall-clock <= cold pass / 5
+CONTRACTS = 40
+SEED = 2020
+BATCH_COPIES = 8  # duplicate-heavy /batch: every contract repeated 8x
+
+_RESULTS: Dict[str, Dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    """Write ``BENCH_serve.json`` after the module's benchmarks ran (even
+    partially — a failed assertion still leaves the measured numbers)."""
+    yield
+    path = os.environ.get("BENCH_SERVE_JSON", "BENCH_serve.json")
+    with open(path, "w") as handle:
+        json.dump(_RESULTS, handle, indent=2, sort_keys=True)
+    print("\nserve throughput benchmark written to %s" % path)
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One warm daemon (inline pool, port auto-assigned) for the module."""
+    import asyncio
+
+    holder = {}
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            server = AnalysisServer(ServeOptions(port=0, jobs=0))
+            await server.start()
+            holder["server"] = server
+            holder["port"] = server.address[1]
+            ready.set()
+            await server.run_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(15), "server failed to start"
+    yield holder["server"], holder["port"]
+    holder["server"].request_shutdown()
+    thread.join(30)
+
+
+def _post(port, path, payload):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    conn.request("POST", path, body=json.dumps(payload).encode())
+    response = conn.getresponse()
+    body = response.read()
+    conn.close()
+    return response.status, body
+
+
+def _analyze_pass(port, bytecodes):
+    """POST /analyze for every contract; returns (seconds, bodies)."""
+    bodies = []
+    start = time.perf_counter()
+    for runtime in bytecodes:
+        status, body = _post(port, "/analyze", {"bytecode": runtime.hex()})
+        assert status == 200, body
+        bodies.append(body)
+    return time.perf_counter() - start, bodies
+
+
+class TestServeThroughput:
+    def test_warm_requests_beat_cold_by_5x(self, served):
+        server, port = served
+        contracts = generate_corpus(CONTRACTS, seed=SEED)
+        bytecodes = [contract.runtime for contract in contracts]
+
+        cold_s, cold_bodies = _analyze_pass(port, bytecodes)
+        warm_s, warm_bodies = _analyze_pass(port, bytecodes)
+
+        # The warm pass is completed-work reuse, byte for byte: nothing
+        # was re-analyzed, and every duplicate got the identical report.
+        assert warm_bodies == cold_bodies
+        assert server.backend.stats.analyzed == CONTRACTS
+        assert server.backend.stats.report_cache_hits == CONTRACTS
+
+        speedup = cold_s / warm_s
+        _RESULTS["warm_vs_cold"] = {
+            "contracts": CONTRACTS,
+            "cold_seconds": round(cold_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "cold_req_per_s": round(CONTRACTS / cold_s, 2),
+            "warm_req_per_s": round(CONTRACTS / warm_s, 2),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SPEEDUP,
+        }
+        print_table(
+            "Serve throughput: %d contracts over HTTP" % CONTRACTS,
+            ["pass", "seconds", "req/s"],
+            [
+                ["cold", "%.3f" % cold_s, "%.1f" % (CONTRACTS / cold_s)],
+                ["warm", "%.3f" % warm_s, "%.1f" % (CONTRACTS / warm_s)],
+                ["speedup", "%.1fx" % speedup, ""],
+            ],
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            "warm pass only %.1fx faster than cold (floor %.1fx)"
+            % (speedup, MIN_SPEEDUP)
+        )
+
+    def test_duplicate_heavy_batch_pays_per_unique_contract(self, served):
+        server, port = served
+        contracts = generate_corpus(8, seed=SEED + 1)
+        baseline = server.backend.stats.analyzed
+        payload = {
+            "contracts": [
+                {"bytecode": contract.runtime.hex()}
+                for contract in contracts
+            ]
+            * BATCH_COPIES
+        }
+        start = time.perf_counter()
+        status, body = _post(port, "/batch", payload)
+        elapsed = time.perf_counter() - start
+        assert status == 200
+        lines = [json.loads(line) for line in body.splitlines() if line]
+        assert len(lines) == len(contracts) * BATCH_COPIES
+        assert all("report" in line for line in lines)
+
+        analyzed = server.backend.stats.analyzed - baseline
+        assert analyzed == len(contracts)  # duplicates coalesced/cached
+        _RESULTS["duplicate_heavy_batch"] = {
+            "requests": len(lines),
+            "unique_contracts": len(contracts),
+            "analyzed": analyzed,
+            "seconds": round(elapsed, 4),
+            "req_per_s": round(len(lines) / elapsed, 2),
+        }
+        print_table(
+            "Duplicate-heavy /batch: %d requests, %d unique"
+            % (len(lines), len(contracts)),
+            ["metric", "value"],
+            [
+                ["analyzed", analyzed],
+                ["seconds", "%.3f" % elapsed],
+                ["req/s", "%.1f" % (len(lines) / elapsed)],
+            ],
+        )

@@ -11,13 +11,36 @@ does not drown in warnings.
 from __future__ import annotations
 
 import warnings
-from typing import Set
+from typing import Dict, Set
+
+# The finalized removal list: every deprecated deep-import entry point,
+# mapped to its exact ``repro.api`` replacement symbol.  This is the
+# single source of truth — shim call sites must name a key from this
+# registry (enforced by :func:`warn_deprecated_entry` and the test
+# suite), and the README's deprecation table mirrors it.  Shims are
+# scheduled for removal in the release after the serving daemon
+# stabilizes; new code must import from :mod:`repro.api` only.
+DEPRECATED_ENTRY_POINTS: Dict[str, str] = {
+    "repro.core.analysis.analyze_bytecode": "repro.api.analyze",
+    "repro.core.batch.analyze_many": "repro.api.sweep",
+    "repro.core.batch.analyze_battery": "repro.api.battery",
+}
 
 _WARNED: Set[str] = set()
 
 
 def warn_deprecated_entry(old: str, new: str) -> None:
-    """Warn (once per process) that ``old`` should be replaced by ``new``."""
+    """Warn (once per process) that ``old`` should be replaced by ``new``.
+
+    ``old`` must be registered in :data:`DEPRECATED_ENTRY_POINTS` with
+    exactly ``new`` as its replacement — an unregistered shim is a
+    programming error, caught here rather than drifting silently.
+    """
+    if DEPRECATED_ENTRY_POINTS.get(old) != new:
+        raise AssertionError(
+            "shim %r -> %r is not registered in DEPRECATED_ENTRY_POINTS"
+            % (old, new)
+        )
     if old in _WARNED:
         return
     _WARNED.add(old)

@@ -27,7 +27,8 @@ Quickstart::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.analysis import (
     AnalysisConfig,
@@ -57,6 +58,7 @@ __all__ = [
     "analyze",
     "sweep",
     "battery",
+    "AnalyzeRequest",
     "AnalysisConfig",
     "AnalysisResult",
     "ArtifactCache",
@@ -78,14 +80,134 @@ __all__ = [
 ]
 
 
+@dataclasses.dataclass(frozen=True)
+class AnalyzeRequest:
+    """One analysis request as a single frozen value: the contract input
+    plus every configuration knob.
+
+    This is the *one* config surface shared by :func:`analyze`,
+    :func:`sweep`, :func:`battery`, the ``repro`` CLI, and the HTTP
+    request codec behind ``repro serve`` — all of them fold their inputs
+    into an ``AnalyzeRequest`` and derive the effective
+    :class:`AnalysisConfig` (and the content identity caches key on)
+    through the same two methods, so a report produced by any entry point
+    is reproducible through every other one.
+
+    The contract input is either ``bytecode`` (runtime bytes) *or*
+    ``source`` (MiniSol text, optionally disambiguated by ``contract``)
+    — never both.  Both may be omitted when the request is used purely
+    as a configuration carrier (e.g. a sweep applies one request's
+    configuration to many bytecodes).
+
+    Construction never validates (the dataclass is a plain value and
+    stays cheap to build/compare/hash); validation happens when a
+    derived view is asked for:
+
+    * :meth:`config` — the effective :class:`AnalysisConfig`; raises
+      :class:`~repro.core.pipeline.UnknownEngineError` /
+      :class:`UnknownKindError` on bad ``engine`` / ``kinds``;
+    * :meth:`runtime` — the runtime bytecode, compiling ``source`` on
+      demand; raises :class:`ValueError` when the input is missing,
+      ambiguous, or doubled;
+    * :meth:`fingerprint` — the configuration fingerprint (the config
+      half of every cache/journal identity);
+    * :meth:`identity` — ``sha256(bytecode) + fingerprint``, the exact
+      key the sweep journal, :class:`ResultCache`, and the serving
+      daemon's dedup use.
+
+    Being frozen, variants derive with :func:`dataclasses.replace`::
+
+        base = AnalyzeRequest(engine="datalog")
+        fast = dataclasses.replace(base, deadline=5.0)
+    """
+
+    bytecode: Optional[bytes] = None
+    source: Optional[str] = None
+    contract: Optional[str] = None  # contract name within ``source``
+    name: str = ""  # display name for reports
+    engine: str = "python"
+    kinds: Optional[Tuple[str, ...]] = None
+    value_analysis: bool = False
+    deadline: Optional[float] = 120.0
+    # Figure 8 ablation switches, spelled exactly as AnalysisConfig does.
+    model_guards: bool = True
+    model_storage_taint: bool = True
+    conservative_storage: bool = False
+
+    def config(self) -> AnalysisConfig:
+        """The effective :class:`AnalysisConfig`, engine/kinds validated."""
+        from repro.core.pipeline import ENGINE_CHOICES, UnknownEngineError
+
+        if self.engine not in ENGINE_CHOICES:
+            raise UnknownEngineError(self.engine)
+        return AnalysisConfig(
+            model_guards=self.model_guards,
+            model_storage_taint=self.model_storage_taint,
+            conservative_storage=self.conservative_storage,
+            value_analysis=self.value_analysis,
+            timeout_seconds=self.deadline,
+            engine=self.engine,
+            kinds=validate_kinds(self.kinds),
+        )
+
+    def runtime(self) -> bytes:
+        """The runtime bytecode, compiling MiniSol ``source`` if given."""
+        if self.bytecode is not None and self.source is not None:
+            raise ValueError(
+                "AnalyzeRequest takes bytecode or source, not both"
+            )
+        if self.bytecode is not None:
+            return self.bytecode
+        if self.source is None:
+            raise ValueError(
+                "AnalyzeRequest has no contract input (bytecode or source)"
+            )
+        from repro.minisol import compile_source
+
+        compiled = compile_source(self.source, self.contract)
+        if isinstance(compiled, dict):
+            raise ValueError(
+                "multiple contracts in source; pick one with contract=: %s"
+                % ", ".join(sorted(compiled))
+            )
+        return compiled.runtime
+
+    def fingerprint(self) -> str:
+        """The configuration fingerprint (config half of the identity)."""
+        from repro.core.pipeline import analysis_fingerprint
+
+        return analysis_fingerprint(self.config())
+
+    def identity(self) -> str:
+        """``sha256(bytecode) + config fingerprint`` — the journal /
+        result-cache / serving-dedup key for this exact request."""
+        from repro.core.orchestrator import journal_key
+
+        return journal_key(self.runtime(), self.fingerprint())
+
+
+def _coerce_config(
+    config: "Union[AnalysisConfig, AnalyzeRequest, None]",
+) -> Optional[AnalysisConfig]:
+    """Every sweep/battery entry point takes an :class:`AnalysisConfig`
+    or an :class:`AnalyzeRequest` used as a configuration carrier."""
+    if isinstance(config, AnalyzeRequest):
+        return config.config()
+    return config
+
+
 def analyze(
-    bytecode: bytes,
+    bytecode: "Union[bytes, AnalyzeRequest]",
     config: Optional[AnalysisConfig] = None,
     *,
     cache: Optional[ArtifactCache] = None,
     warm=None,
 ) -> AnalysisResult:
     """Analyze one contract's runtime bytecode.
+
+    The first argument is runtime bytecode, or a full
+    :class:`AnalyzeRequest` (whose input and configuration are both
+    honored; passing ``config`` alongside a request is an error).
 
     ``warm`` optionally takes a
     :class:`~repro.core.bytecode_datalog.WarmEngineCache`: repeated calls
@@ -94,6 +216,15 @@ def analyze(
     ablation battery flipping ``model_guards`` re-derives only the facts
     the flipped guards touch.
     """
+    if isinstance(bytecode, AnalyzeRequest):
+        if config is not None:
+            raise ValueError(
+                "pass configuration inside the AnalyzeRequest, "
+                "not as a separate config"
+            )
+        request = bytecode
+        bytecode = request.runtime()
+        config = request.config()
     return EthainterAnalysis(config, cache=cache, warm=warm).analyze(bytecode)
 
 
@@ -110,8 +241,6 @@ def _options(
 ) -> OrchestratorOptions:
     """Fold the convenience keywords into a (copied) options object; a
     keyword left at its default never overrides an explicit ``options``."""
-    import dataclasses
-
     options = OrchestratorOptions() if options is None else dataclasses.replace(options)
     if executor is not None:
         options.executor = executor
@@ -133,7 +262,7 @@ def _options(
 
 def sweep(
     bytecodes: Sequence[bytes],
-    config: Optional[AnalysisConfig] = None,
+    config: "Union[AnalysisConfig, AnalyzeRequest, None]" = None,
     *,
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
@@ -168,7 +297,7 @@ def sweep(
     by any earlier sweep are resolved without analysis
     (``result_cache_hits``).
     """
-    config = config or AnalysisConfig()
+    config = _coerce_config(config) or AnalysisConfig()
     resolved = _options(
         executor, mp_context, max_retries, journal, resume, dedup,
         result_cache, on_event, options,
@@ -178,7 +307,7 @@ def sweep(
 
 def battery(
     bytecodes: Sequence[bytes],
-    configs: Sequence[AnalysisConfig],
+    configs: "Sequence[Union[AnalysisConfig, AnalyzeRequest]]",
     *,
     jobs: int = 1,
     cache: Optional[ArtifactCache] = None,
@@ -204,6 +333,7 @@ def battery(
     """
     if not configs:
         raise ValueError("battery needs at least one configuration")
+    configs = [_coerce_config(config) for config in configs]
     resolved = _options(
         executor, mp_context, max_retries, journal, resume, dedup,
         result_cache, on_event, options,

@@ -9,6 +9,7 @@ Commands:
 * ``abi``      — print function selectors and event signatures
 * ``corpus``   — generate a labeled synthetic corpus to a directory
 * ``sweep``    — analyze a generated corpus and print/emit statistics
+* ``serve``    — run the analysis-as-a-service HTTP daemon
 * ``kill``     — deploy a contract locally and run Ethainter-Kill against it
 * ``lint-rules`` — statically lint Datalog rule programs (shipped or files)
 """
@@ -23,7 +24,6 @@ from pathlib import Path
 from repro import api
 from repro.baselines import SecurifyAnalysis, TeEtherAnalysis
 from repro.chain import Blockchain
-from repro.core import AnalysisConfig
 from repro.corpus import generate_corpus
 from repro.decompiler import lift
 from repro.core.vulnerabilities import (
@@ -126,18 +126,28 @@ def _print_datalog_stats(stats: dict, stream=None) -> None:
             print("    %6d  %s" % (count, rule), file=stream)
 
 
+def _request_from_args(args: argparse.Namespace, **overrides) -> api.AnalyzeRequest:
+    """Fold the shared ``_analysis_parent`` flags into the public
+    :class:`repro.api.AnalyzeRequest` — the CLI speaks the same config
+    surface as the library and the HTTP daemon."""
+    fields = dict(
+        engine=args.engine,
+        kinds=args.kinds,
+        value_analysis=args.value_analysis,
+        deadline=args.deadline,
+        model_guards=not getattr(args, "no_guards", False),
+        model_storage_taint=not getattr(args, "no_storage", False),
+        conservative_storage=getattr(args, "conservative_storage", False),
+    )
+    fields.update(overrides)
+    return api.AnalyzeRequest(**fields)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     """``repro analyze``: run Ethainter on source or hex bytecode."""
     runtime = _read_bytecode(args)
-    config = AnalysisConfig(
-        model_guards=not args.no_guards,
-        model_storage_taint=not args.no_storage,
-        conservative_storage=args.conservative_storage,
-        value_analysis=args.value_analysis,
-        timeout_seconds=args.deadline,
-        engine=args.engine,
-        kinds=args.kinds,
-    )
+    request = _request_from_args(args)
+    config = request.config()
     result = api.analyze(runtime, config)
     if args.profile:
         # With --json on stdout, stdout must stay machine-parseable; the
@@ -334,15 +344,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         corpus = mainnet.contracts()
     else:
         corpus = generate_corpus(args.size, seed=args.seed)
-    config = AnalysisConfig(
-        value_analysis=args.value_analysis,
-        engine=args.engine,
-        timeout_seconds=args.deadline,
-        kinds=args.kinds,
-    )
+    request = _request_from_args(args)
     summary = api.sweep(
         [contract.runtime for contract in corpus],
-        config,
+        request,
         jobs=args.jobs,
         executor=args.executor,
         mp_context=args.mp_context,
@@ -433,6 +438,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     elif args.json:
         Path(args.json).write_text(sweep.to_json())
         print("full report written to %s" % args.json, file=out)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: the analysis-as-a-service HTTP daemon.
+
+    The shared analysis flags become the daemon's *default*
+    :class:`repro.api.AnalyzeRequest`; every HTTP request may override
+    any field.  Runs until SIGTERM/SIGINT, then drains gracefully
+    (in-flight requests finish, the worker pool shuts down).
+    """
+    from repro.core.orchestrator import OrchestratorOptions
+    from repro.serve import ServeOptions, serve_forever
+
+    orchestrator = OrchestratorOptions(mp_context=args.mp_context)
+    options = ServeOptions(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        max_queue=args.max_queue,
+        dedup=not args.no_dedup,
+        result_cache=args.result_cache,
+        defaults=_request_from_args(args),
+        orchestrator=orchestrator,
+    )
+    serve_forever(options)
     return 0
 
 
@@ -682,6 +713,55 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: --seed)",
     )
     sweep.set_defaults(func=cmd_sweep)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the analysis-as-a-service HTTP daemon",
+        parents=[analysis_parent],
+        description="Long-lived asyncio HTTP daemon: POST /analyze, "
+        "POST /batch (NDJSON streaming), GET /health, GET /metrics.  The "
+        "shared analysis flags (--engine, --deadline, --kinds, ...) set "
+        "the daemon's default configuration; each request may override "
+        "them field by field.",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8091,
+        help="bind port (0 picks a free port, printed at startup)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="persistent analysis worker processes (0 = inline, no "
+        "subprocesses)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="open-request admission bound; past it requests get HTTP 429",
+    )
+    serve.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable in-flight coalescing and completed-work reuse "
+        "(every request analyzed naively)",
+    )
+    serve.add_argument(
+        "--result-cache",
+        metavar="DIR",
+        help="disk-backed cross-run result cache directory, shared with "
+        "repro sweep --result-cache (same identity keys)",
+    )
+    serve.add_argument(
+        "--mp-context",
+        choices=["fork", "spawn", "forkserver"],
+        help="multiprocessing start method (default: fork where available)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     compile_cmd = commands.add_parser("compile", help="compile MiniSol source")
     compile_cmd.add_argument("file")

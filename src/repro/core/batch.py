@@ -48,10 +48,13 @@ class BatchEntry:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
-    # Flat Datalog engine counters (derived_facts, join_probes, iterations,
-    # ...) when a datalog engine ran the taint stage — kept scalar-only so
-    # entries stay cheap to pickle back from pool workers.
-    datalog: Dict[str, int] = field(default_factory=dict)
+    # Datalog engine counters (derived_facts, join_probes, iterations, ...)
+    # when a datalog engine ran the taint stage — the full
+    # ``EngineStats.as_dict()`` payload, non-scalar members (per-rule
+    # derivation maps, per-stratum iteration lists) included, so a report
+    # built from an entry is byte-identical to one built from the
+    # in-process result.  Aggregators sum only the int-valued counters.
+    datalog: Dict[str, object] = field(default_factory=dict)
     block_count: int = 0
     # Full warning records ({kind, pc, statement, slot, detail}) so sweep
     # reports built from batch entries match single-contract reports.
@@ -162,11 +165,14 @@ class BatchSummary:
     def datalog_totals(self) -> Dict[str, int]:
         """Summed Datalog engine counters across all entries (empty when
         the batch ran on the Python fixpoint) — slow contracts are
-        diagnosable from derivation/probe volume without rerunning."""
+        diagnosable from derivation/probe volume without rerunning.
+        Non-scalar stats members (per-rule maps, per-stratum lists) are
+        per-entry detail and are skipped here."""
         totals: Dict[str, int] = {}
         for entry in self.entries:
             for name, value in entry.datalog.items():
-                totals[name] = totals.get(name, 0) + value
+                if isinstance(value, int):
+                    totals[name] = totals.get(name, 0) + value
         return totals
 
     @property
@@ -186,11 +192,7 @@ def _entry_from_result(index: int, result: AnalysisResult) -> BatchEntry:
         stage_seconds=result.stage_seconds(),
         cache_hits=result.cache_hits,
         cache_misses=result.cache_misses,
-        datalog={
-            name: value
-            for name, value in stats.items()
-            if isinstance(value, int)
-        },
+        datalog=dict(stats),
         block_count=result.block_count,
         warnings=[
             {

@@ -66,10 +66,19 @@ import hashlib
 import json
 import multiprocessing
 import os
+import queue as queue_module
+import threading
 import time
+from concurrent.futures import Future
 from multiprocessing import connection as mp_connection
 from collections import deque
-from dataclasses import asdict, dataclass, field, fields as dataclass_fields
+from dataclasses import (
+    asdict,
+    dataclass,
+    field,
+    fields as dataclass_fields,
+    replace as dataclass_replace,
+)
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.analysis import AnalysisConfig, EthainterAnalysis
@@ -173,6 +182,10 @@ class OrchestratorOptions:
     # Tasks per worker dispatch message; None auto-sizes from the task
     # count (like the legacy pool's chunksize), capped by recycle_after.
     dispatch_chunk: Optional[int] = None
+    # Worker-side task runner (a TASK_RUNNERS name): "sweep" analyzes a
+    # bytecode payload under every spawn-time config; "request" analyzes a
+    # (bytecode, config) payload — the serving daemon's per-request shape.
+    task_runner: str = "sweep"
     on_event: Optional[Callable[[Dict], None]] = None
     fault_plan: Optional[FaultPlan] = None
 
@@ -397,6 +410,42 @@ class ResultCache:
         self.stores += 1
 
 
+# ------------------------------------------------------------------ runners
+
+
+def _run_sweep_task(configs, cache, warm, index, payload):
+    """The batch shape: payload is runtime bytecode, one entry per
+    spawn-time configuration (the Fig. 8 battery contract)."""
+    return tuple(
+        _entry_from_result(
+            index,
+            EthainterAnalysis(config, cache=cache, warm=warm).analyze(payload),
+        )
+        for config in configs
+    )
+
+
+def _run_request_task(configs, cache, warm, index, payload):
+    """The serving shape: payload is ``(runtime, AnalysisConfig)`` — each
+    request carries its own configuration, so one warm pool serves mixed
+    engine/kinds/deadline traffic."""
+    runtime, config = payload
+    return (
+        _entry_from_result(
+            index,
+            EthainterAnalysis(config, cache=cache, warm=warm).analyze(runtime),
+        ),
+    )
+
+
+# Worker-side task runners, selected *by name* so the choice pickles across
+# process boundaries under any start method.
+TASK_RUNNERS: Dict[str, Callable] = {
+    "sweep": _run_sweep_task,
+    "request": _run_request_task,
+}
+
+
 # ------------------------------------------------------------------- worker
 
 
@@ -407,6 +456,7 @@ def _worker_main(
     cache_entries: int,
     recycle_after: Optional[int],
     fault_plan: Optional[FaultPlan],
+    runner: str = "sweep",
 ) -> None:
     """Worker loop: one task in flight, on a private duplex pipe.
 
@@ -422,7 +472,8 @@ def _worker_main(
     Spawn-safe by construction: a top-level function whose arguments are
     all picklable; per-worker state (the artifact cache) is built here,
     never inherited.  Each message is a *chunk* — a list of ``(index,
-    bytecode, attempt)`` tasks, processed strictly in order so the
+    payload, attempt)`` tasks (payload shape per :data:`TASK_RUNNERS`
+    entry), processed strictly in order so the
     supervisor always knows which task is in flight (the head of the
     chunk's unacknowledged remainder).  Replies stay per-task —
     ``("done", wid, index, attempt, row)`` or ``("fail", wid, index,
@@ -431,22 +482,26 @@ def _worker_main(
     a clean exit, only ever between chunks.
     """
     cache = ArtifactCache(cache_entries) if cache_entries > 0 else None
+    warm = None
+    if runner != "sweep":
+        # The serving runner sees mixed per-request configurations, so the
+        # warm fixpoint cache is always worth holding; the sweep runner
+        # keeps its historical per-config behavior (byte-identical entries
+        # against the serial executor).
+        from repro.core.bytecode_datalog import WarmEngineCache
+
+        warm = WarmEngineCache()
+    run_task = TASK_RUNNERS[runner]
     done = 0
     while True:
         message = conn.recv()
         if message is None:
             return
-        for index, runtime, attempt in message:
+        for index, payload, attempt in message:
             try:
                 if fault_plan is not None:
                     fault_plan.apply(index, attempt)
-                row = tuple(
-                    _entry_from_result(
-                        index,
-                        EthainterAnalysis(config, cache=cache).analyze(runtime),
-                    )
-                    for config in configs
-                )
+                row = run_task(configs, cache, warm, index, payload)
                 conn.send(("done", worker_id, index, attempt, row))
             except Exception as error:  # reported; the supervisor decides retry
                 conn.send(
@@ -511,6 +566,7 @@ class Orchestrator:
         stats: OrchestratorStats,
         journal: Optional[SweepJournal] = None,
         keys: Optional[Dict[int, str]] = None,
+        persistent: bool = False,
     ):
         self.configs = configs
         self.jobs = jobs
@@ -521,11 +577,24 @@ class Orchestrator:
         self.context = resolve_mp_context(options.mp_context)
         self.watchdog = options.effective_watchdog(configs[0])
         self.rows: Dict[int, Tuple[BatchEntry, ...]] = {}
-        self.tasks_by_index: Dict[int, bytes] = {}
+        # index -> task payload (runtime bytes for the sweep runner,
+        # (runtime, config) for the request runner).
+        self.tasks_by_index: Dict[int, object] = {}
         self.pending: "deque[Tuple[int, int, float]]" = deque()  # index, attempt, not_before
         self.workers: Dict[int, _Worker] = {}
         self.next_worker_id = 0
         self.chunk = 1  # set per run() from dispatch_chunk / task count
+        # Persistent mode (PersistentPool): resolved tasks are *forgotten*
+        # instead of accumulated in ``rows`` — a long-lived daemon must not
+        # grow state per request — and each resolved row is handed to
+        # ``on_row`` (the pool resolves the submitter's Future there).
+        self.persistent = persistent
+        self.on_row: Optional[Callable[[int, Tuple[BatchEntry, ...]], None]] = None
+        # Optional readable fd included in the supervision wait set so an
+        # external submitter can interrupt an idle wait immediately.
+        self.wake_fd: Optional[int] = None
+        self._started_at = time.monotonic()
+        self._last_heartbeat = self._started_at
 
     # -- events
 
@@ -551,6 +620,7 @@ class Orchestrator:
                     self.options.cache_entries,
                     self.options.recycle_after,
                     self.options.fault_plan,
+                    self.options.task_runner,
                 ),
                 daemon=True,
             )
@@ -570,6 +640,14 @@ class Orchestrator:
     def _record_row(
         self, index: int, row: Tuple[BatchEntry, ...], journal: bool
     ) -> None:
+        if self.persistent:
+            if index not in self.tasks_by_index:
+                return  # late duplicate: a fault charge raced the real row
+            del self.tasks_by_index[index]
+            self.stats.completed += 1
+            if self.on_row is not None:
+                self.on_row(index, row)
+            return
         if index in self.rows:
             # A worker that finished a task and then died before its result
             # drained gets charged a crash first; the real row wins.
@@ -764,7 +842,7 @@ class Orchestrator:
             self._record_row(index, row, journal=True)
             self._emit("task_done", index=index, attempt=attempt)
         elif kind == "fail":
-            if index in self.rows:
+            if index in self.rows or index not in self.tasks_by_index:
                 return  # already resolved (e.g. watchdog raced the reply)
             if attempt < self.options.max_retries:
                 self.stats.retries += 1
@@ -796,6 +874,68 @@ class Orchestrator:
             chunk = min(chunk, self.options.recycle_after)
         return max(1, chunk)
 
+    def _begin(self) -> None:
+        self._started_at = time.monotonic()
+        self._last_heartbeat = self._started_at
+
+    def _step(self, timeout: float = 0.05) -> None:
+        """One supervision iteration: reap, watchdog, dispatch, then wait
+        for worker replies / deaths / an external wake.  Both the one-shot
+        sweep (:meth:`run`) and the long-lived :class:`PersistentPool`
+        drive this method; it never blocks longer than ``timeout``."""
+        self._reap()
+        self._check_watchdog()
+        self._dispatch()
+        # Wake on any worker's reply *or* death (process sentinels), so
+        # dispatch latency and crash reaction are both bounded by pipe
+        # latency, not the poll interval.
+        waitables: List[object] = [
+            worker.conn for worker in self.workers.values()
+        ] + [
+            worker.process.sentinel for worker in self.workers.values()
+        ]
+        if self.wake_fd is not None:
+            waitables.append(self.wake_fd)
+        if waitables:
+            for ready in mp_connection.wait(waitables, timeout=timeout):
+                if self.wake_fd is not None and ready == self.wake_fd:
+                    try:
+                        os.read(self.wake_fd, 65536)
+                    except OSError:  # pragma: no cover - torn wake pipe
+                        pass
+                    continue
+                if not hasattr(ready, "recv"):
+                    continue  # a sentinel fired; _reap handles it
+                try:
+                    self._handle_result(ready.recv())
+                except (EOFError, OSError):
+                    pass  # worker died mid-reply; _reap charges it
+        elif timeout:
+            time.sleep(min(timeout, 0.01))
+        now = time.monotonic()
+        if now - self._last_heartbeat >= self.options.heartbeat_seconds:
+            self._last_heartbeat = now
+            self.stats.heartbeats += 1
+            elapsed = now - self._started_at
+            self._emit(
+                "heartbeat",
+                completed=self.stats.completed,
+                total=self.stats.completed + self._unresolved()
+                if self.persistent
+                else len(self.tasks_by_index),
+                in_flight=sum(
+                    len(worker.queue) for worker in self.workers.values()
+                ),
+                retries=self.stats.retries,
+                crashes=self.stats.crashes,
+                watchdog_kills=self.stats.watchdog_kills,
+                recycles=self.stats.recycles,
+                elapsed_seconds=elapsed,
+                throughput=(
+                    self.stats.completed / elapsed if elapsed > 0 else 0.0
+                ),
+            )
+
     def run(
         self, tasks: List[Tuple[int, bytes]]
     ) -> Dict[int, Tuple[BatchEntry, ...]]:
@@ -807,51 +947,9 @@ class Orchestrator:
             while len(self.workers) < min(self.jobs, len(tasks)):
                 self._spawn_worker()
             self.stats.workers = len(self.workers)
-            started = time.monotonic()
-            last_heartbeat = started
+            self._begin()
             while self._unresolved():
-                self._reap()
-                self._check_watchdog()
-                self._dispatch()
-                # Wake on any worker's reply *or* death (process sentinels),
-                # so dispatch latency and crash reaction are both bounded by
-                # pipe latency, not the poll interval.
-                waitables = [
-                    worker.conn for worker in self.workers.values()
-                ] + [
-                    worker.process.sentinel
-                    for worker in self.workers.values()
-                ]
-                for ready in mp_connection.wait(waitables, timeout=0.05):
-                    conn = ready if hasattr(ready, "recv") else None
-                    if conn is None:
-                        continue  # a sentinel fired; _reap handles it
-                    try:
-                        self._handle_result(conn.recv())
-                    except (EOFError, OSError):
-                        pass  # worker died mid-reply; _reap charges it
-                now = time.monotonic()
-                if now - last_heartbeat >= self.options.heartbeat_seconds:
-                    last_heartbeat = now
-                    self.stats.heartbeats += 1
-                    elapsed = now - started
-                    self._emit(
-                        "heartbeat",
-                        completed=self.stats.completed,
-                        total=len(self.tasks_by_index),
-                        in_flight=sum(
-                            len(worker.queue)
-                            for worker in self.workers.values()
-                        ),
-                        retries=self.stats.retries,
-                        crashes=self.stats.crashes,
-                        watchdog_kills=self.stats.watchdog_kills,
-                        recycles=self.stats.recycles,
-                        elapsed_seconds=elapsed,
-                        throughput=(
-                            self.stats.completed / elapsed if elapsed > 0 else 0.0
-                        ),
-                    )
+                self._step()
         finally:
             self._shutdown()
         return self.rows
@@ -870,6 +968,278 @@ class Orchestrator:
                 worker.process.join(timeout=5.0)
             worker.conn.close()
         self.workers.clear()
+
+
+# ------------------------------------------------------------ serving pool
+
+
+class PersistentPool:
+    """A long-lived supervised worker pool decoupled from any one sweep.
+
+    This is the serving backend behind ``repro serve``: worker processes
+    stay warm across requests, each submission is one ``"request"``-runner
+    task carrying its own :class:`AnalysisConfig` (so a single pool serves
+    mixed engine/kinds/deadline traffic), and :meth:`submit` returns a
+    :class:`concurrent.futures.Future` resolving to the task's row — a
+    1-tuple of :class:`BatchEntry`, the same shape a single-config sweep
+    produces, so every report builder downstream works unchanged.
+
+    Supervision runs on a dedicated thread driving
+    :meth:`Orchestrator._step`; submissions cross into it via a
+    ``SimpleQueue`` plus a wake pipe included in the supervisor's wait
+    set, so an idle pool reacts to a new request at pipe latency, not
+    poll latency.  All of the sweep harness survives intact: watchdog
+    SIGKILL for hung workers (budget derived from the pool's *base*
+    config — per-request deadlines above it are clamped by the kill),
+    crash isolation charging exactly the in-flight request, bounded
+    retries with backoff, and worker recycling.
+
+    ``jobs=0`` runs every request inline on the pool thread (no worker
+    processes — the single-operator deployment), and a failed spawn
+    (:class:`_PoolBroken`) degrades to the same inline mode mid-flight:
+    open requests are re-run in-process, recorded in ``stats.mode``,
+    never dropped.  Inline mode holds a warm
+    :class:`~repro.core.bytecode_datalog.WarmEngineCache` and
+    :class:`ArtifactCache` across requests, mirroring what warm workers
+    hold.
+
+    ``task_hook`` is a test seam: called (inline mode only) with
+    ``(index, runtime, config)`` before each analysis, letting tests
+    hold the pool busy deterministically to exercise admission limits.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        options: Optional[OrchestratorOptions] = None,
+        config: Optional[AnalysisConfig] = None,
+    ):
+        self.config = config if config is not None else AnalysisConfig()
+        self.jobs = max(0, jobs)
+        self.options = dataclass_replace(
+            options or OrchestratorOptions(), task_runner="request"
+        )
+        self.stats = OrchestratorStats(
+            mode="persistent" if self.jobs > 0 else "inline"
+        )
+        self.task_hook: Optional[
+            Callable[[int, bytes, AnalysisConfig], None]
+        ] = None
+        self._lock = threading.Lock()
+        self._inbox: "queue_module.SimpleQueue" = queue_module.SimpleQueue()
+        self._futures: Dict[int, Future] = {}
+        self._next_index = 0
+        self._open = 0
+        self._closed = False
+        self._abandon = False
+        self._inline_cache: Optional[ArtifactCache] = None
+        self._inline_warm = None
+        if self.jobs > 0:
+            self._wake_read, self._wake_write = os.pipe()
+            self._supervisor: Optional[Orchestrator] = Orchestrator(
+                (self.config,),
+                self.jobs,
+                self.options,
+                self.stats,
+                persistent=True,
+            )
+            self._supervisor.wake_fd = self._wake_read
+            self._supervisor.on_row = self._finish
+            # Serving trades batching for latency: one request per
+            # dispatch message unless explicitly chunked.
+            self._supervisor.chunk = max(1, self.options.dispatch_chunk or 1)
+        else:
+            self._wake_read = self._wake_write = None
+            self._supervisor = None
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-persistent-pool", daemon=True
+        )
+        self._thread.start()
+
+    # -- submission side (any thread)
+
+    @property
+    def outstanding(self) -> int:
+        """Submitted-but-unresolved request count (admission control)."""
+        with self._lock:
+            return self._open
+
+    def submit(
+        self, runtime: bytes, config: Optional[AnalysisConfig] = None
+    ) -> "Future[Tuple[BatchEntry, ...]]":
+        """Queue one analysis request; resolves to its row (1 entry).
+
+        Harness faults (crash / watchdog / exhausted retries) resolve the
+        future with an *error row*, never an exception — the same
+        contract sweeps have — so the caller inspects ``entry.error``.
+        The future only raises if the pool is torn down underneath it.
+        """
+        if config is None:
+            config = self.config
+        future: "Future[Tuple[BatchEntry, ...]]" = Future()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("PersistentPool is closed")
+            index = self._next_index
+            self._next_index += 1
+            self._open += 1
+            self.stats.tasks_total += 1
+            self._futures[index] = future
+            self._inbox.put((index, runtime, config))
+        self._wake()
+        return future
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests; drain (default) or abandon open ones.
+
+        ``wait=True`` is the graceful SIGTERM path: every already-admitted
+        request completes and resolves its future before workers are torn
+        down.  ``wait=False`` cancels whatever is still open.
+        """
+        with self._lock:
+            self._closed = True
+            if not wait:
+                self._abandon = True
+        self._wake()
+        if self._thread.is_alive():
+            self._thread.join()
+        if self._wake_read is not None:
+            for fd in (self._wake_read, self._wake_write):
+                try:
+                    os.close(fd)
+                except OSError:  # pragma: no cover - already closed
+                    pass
+            self._wake_read = self._wake_write = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(wait=True)
+
+    # -- pool thread
+
+    def _wake(self) -> None:
+        if self._wake_write is not None:
+            try:
+                os.write(self._wake_write, b"\0")
+            except OSError:  # pragma: no cover - pool already torn down
+                pass
+
+    def _loop(self) -> None:
+        inline = self._supervisor is None
+        supervisor = self._supervisor
+        if supervisor is not None:
+            supervisor._begin()
+        try:
+            while not self._abandon:
+                if not inline:
+                    try:
+                        self._drain_inbox(supervisor)
+                        if (
+                            self._closed
+                            and not supervisor._unresolved()
+                            and self._inbox.empty()
+                        ):
+                            break
+                        self._maintain_workers(supervisor)
+                        supervisor._step(timeout=0.2)
+                    except _PoolBroken as broken:
+                        inline = True
+                        self.stats.mode = "inline"
+                        if self.options.on_event is not None:
+                            self.options.on_event(
+                                {"event": "degraded", "reason": str(broken)}
+                            )
+                        open_tasks = sorted(supervisor.tasks_by_index.items())
+                        supervisor.tasks_by_index.clear()
+                        supervisor.pending.clear()
+                        supervisor._shutdown()
+                        for index, (runtime, config) in open_tasks:
+                            self._run_inline(index, runtime, config)
+                else:
+                    try:
+                        index, runtime, config = self._inbox.get(timeout=0.2)
+                    except queue_module.Empty:
+                        if self._closed:
+                            break
+                        continue
+                    self._run_inline(index, runtime, config)
+        finally:
+            if supervisor is not None:
+                supervisor._shutdown()
+            self._cancel_open()
+
+    def _drain_inbox(self, supervisor: Orchestrator) -> None:
+        while True:
+            try:
+                index, runtime, config = self._inbox.get_nowait()
+            except queue_module.Empty:
+                return
+            supervisor.tasks_by_index[index] = (runtime, config)
+            supervisor._requeue(index, attempt=0)
+
+    def _maintain_workers(self, supervisor: Orchestrator) -> None:
+        # Keep the pool warm at full strength (recycled/crashed workers
+        # respawn even while idle — the next request must not pay a spawn).
+        while len(supervisor.workers) < self.jobs:
+            supervisor._spawn_worker()
+        if len(supervisor.workers) > self.stats.workers:
+            self.stats.workers = len(supervisor.workers)
+
+    def _run_inline(self, index: int, runtime: bytes, config) -> None:
+        if self._inline_cache is None and self.options.cache_entries > 0:
+            self._inline_cache = ArtifactCache(self.options.cache_entries)
+        if self._inline_warm is None:
+            from repro.core.bytecode_datalog import WarmEngineCache
+
+            self._inline_warm = WarmEngineCache()
+        if self.stats.workers == 0:
+            self.stats.workers = 1
+        hook = self.task_hook
+        if hook is not None:
+            hook(index, runtime, config)
+        try:
+            row = _run_request_task(
+                (config,),
+                self._inline_cache,
+                self._inline_warm,
+                index,
+                (runtime, config),
+            )
+        except Exception as error:  # same surface as an exhausted retry
+            row = (
+                BatchEntry(
+                    index=index,
+                    kinds=(),
+                    error="task_failed: %s: %s (after 1 attempt(s))"
+                    % (type(error).__name__, error),
+                    elapsed_seconds=0.0,
+                    statement_count=0,
+                    attempts=1,
+                ),
+            )
+        self.stats.dispatched += 1
+        self.stats.completed += 1
+        self._finish(index, row)
+
+    def _finish(self, index: int, row: Tuple[BatchEntry, ...]) -> None:
+        with self._lock:
+            future = self._futures.pop(index, None)
+            self._open -= 1
+        if future is not None:
+            try:
+                future.set_result(row)
+            except Exception:  # pragma: no cover - submitter cancelled
+                pass
+
+    def _cancel_open(self) -> None:
+        with self._lock:
+            futures = list(self._futures.values())
+            self._futures.clear()
+            self._open = 0
+        for future in futures:
+            future.cancel()
 
 
 def _entry_with_attempts(entry: BatchEntry, attempts: int) -> BatchEntry:

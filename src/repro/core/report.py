@@ -27,6 +27,11 @@ from repro.core.vulnerabilities import VULNERABILITY_KINDS
 
 SCHEMA_VERSION = 2
 
+# Every schema version from_json can still parse, oldest first.  The
+# unsupported-version error interpolates this tuple, so the message stays
+# correct as versions are added without touching the format string.
+SUPPORTED_SCHEMA_VERSIONS = (1, SCHEMA_VERSION)
+
 
 def _parse_payload(data: Union[str, Dict], kind: str) -> Dict:
     if isinstance(data, str):
@@ -34,10 +39,14 @@ def _parse_payload(data: Union[str, Dict], kind: str) -> Dict:
     if not isinstance(data, dict):
         raise ValueError("%s payload must be a JSON object" % kind)
     version = data.get("schema_version", 1)
-    if version not in (1, SCHEMA_VERSION):
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
         raise ValueError(
-            "unsupported %s schema_version %r (supported: 1, %d)"
-            % (kind, version, SCHEMA_VERSION)
+            "unsupported %s schema_version %r (supported: %s)"
+            % (
+                kind,
+                version,
+                ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS),
+            )
         )
     return data
 
@@ -159,9 +168,15 @@ class SweepReport:
     # engine (derived_facts, join_probes, iterations, ...).
     datalog: Dict[str, int] = field(default_factory=dict)
     # Sweep-executor health counters (OrchestratorStats.as_dict()):
-    # crashes, watchdog_kills, retries, recycles, resumed, ...
+    # crashes, watchdog_kills, retries, recycles, resumed, plus the PR 8
+    # dedup accounting (tasks_total/tasks_unique/dedup_hits/
+    # result_cache_hits) — round-tripped verbatim by from_json.
     orchestrator: Dict[str, object] = field(default_factory=dict)
     contracts: List[ContractReport] = field(default_factory=list)
+    # Parsed ``error_kind_counts`` kept as a fallback so a summary-only
+    # report (``include_contracts=False``) still round-trips the error
+    # taxonomy; recomputed from ``contracts`` whenever they are present.
+    error_kind_fallback: Dict[str, int] = field(default_factory=dict)
 
     def add(self, report: ContractReport) -> None:
         self.total_contracts += 1
@@ -207,6 +222,8 @@ class SweepReport:
             if report.error:
                 kind = report.error.split(":", 1)[0].strip()
                 counts[kind] = counts.get(kind, 0) + 1
+        if not counts and not self.contracts:
+            return dict(self.error_kind_fallback)
         return counts
 
     def summary(self) -> Dict:
@@ -263,6 +280,7 @@ class SweepReport:
                 ContractReport.from_json(contract)
                 for contract in payload.get("contracts") or []
             ],
+            error_kind_fallback=dict(payload.get("error_kind_counts") or {}),
         )
         return report
 

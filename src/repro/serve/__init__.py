@@ -1,0 +1,19 @@
+"""Analysis-as-a-service: the long-lived HTTP daemon behind ``repro serve``.
+
+See :mod:`repro.serve.app` for the endpoint surface,
+:mod:`repro.serve.backend` for the admission → dedup → warm-pool funnel,
+:mod:`repro.serve.codecs` for the request/report codecs, and
+:mod:`repro.serve.metrics` for the Prometheus text encoder.
+"""
+
+from repro.serve.app import AnalysisServer, ServeOptions, serve_forever
+from repro.serve.backend import BackendStats, QueueFull, ServingBackend
+
+__all__ = [
+    "AnalysisServer",
+    "BackendStats",
+    "QueueFull",
+    "ServeOptions",
+    "ServingBackend",
+    "serve_forever",
+]

@@ -1,0 +1,494 @@
+"""The analysis-as-a-service daemon behind ``repro serve``.
+
+A hand-rolled HTTP/1.1 server on :func:`asyncio.start_server` — no web
+framework, no new dependencies — in front of the
+:class:`~repro.serve.backend.ServingBackend` funnel and its persistent
+warm :class:`~repro.core.orchestrator.PersistentPool`:
+
+* ``POST /analyze`` — one contract (hex ``bytecode`` or MiniSol
+  ``source``) → the schema-v2 JSON report, byte-for-byte what ``repro
+  analyze --json`` prints;
+* ``POST /batch`` — many contracts → NDJSON, one line per contract
+  *streamed in completion order* (duplicates coalesce in flight);
+* ``GET /health`` — liveness + pool mode;
+* ``GET /metrics`` — Prometheus text: serving funnel counters plus the
+  orchestrator heartbeat/retry/crash/dedup counters.
+
+Every response closes its connection (``Connection: close``): the
+clients this serves are sweep drivers and load balancers, and one
+request per connection keeps the parser trivial and the drain story
+exact.  On SIGTERM/SIGINT the listener closes, in-flight requests
+finish and flush, then the worker pool shuts down — the §6 sweep's
+"an operator restart costs zero contracts" property, ported to serving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import signal
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.api import AnalyzeRequest
+from repro.core.orchestrator import (
+    HARNESS_FAULT_KINDS,
+    OrchestratorOptions,
+    PersistentPool,
+    ResultCache,
+)
+from repro.core.report import ContractReport
+from repro.serve.backend import QueueFull, ServingBackend
+from repro.serve.codecs import (
+    BadRequest,
+    batch_requests,
+    decode_request,
+    error_body,
+    parse_body,
+    report_text,
+)
+from repro.serve.metrics import Metric, encode_metrics
+
+__all__ = ["ServeOptions", "AnalysisServer", "serve_forever"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024  # a whole-chain batch, not a bomb
+
+
+@dataclasses.dataclass
+class ServeOptions:
+    """Daemon configuration (the ``repro serve`` CLI flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8091
+    jobs: int = 1  # worker processes; 0 = analyze inline on the pool thread
+    max_queue: int = 64  # open-request admission bound (429 past it)
+    dedup: bool = True  # identity coalescing + completed-work reuse
+    result_cache: Optional[str] = None  # disk ResultCache dir (sweep-shared)
+    memory_entries: int = 1024  # in-memory completed-row LRU size
+    defaults: AnalyzeRequest = dataclasses.field(default_factory=AnalyzeRequest)
+    orchestrator: Optional[OrchestratorOptions] = None
+
+
+class AnalysisServer:
+    """One daemon instance: listener, funnel, pool, and counters."""
+
+    def __init__(self, options: Optional[ServeOptions] = None):
+        self.options = options or ServeOptions()
+        self.pool = PersistentPool(
+            jobs=self.options.jobs,
+            options=self.options.orchestrator,
+            config=self.options.defaults.config(),
+        )
+        result_cache = (
+            ResultCache(self.options.result_cache)
+            if self.options.result_cache
+            else None
+        )
+        self.backend = ServingBackend(
+            self.pool,
+            max_queue=self.options.max_queue,
+            dedup=self.options.dedup,
+            result_cache=result_cache,
+            memory_entries=self.options.memory_entries,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown = asyncio.Event()
+        self._active_connections = 0
+        self._started_at = time.monotonic()
+        # (endpoint, status) -> count, for repro_serve_requests_total.
+        self._request_counts: Dict[Tuple[str, int], int] = {}
+
+    # -- lifecycle
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._started_at = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.options.host, self.options.port
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port resolved when ``port=0``."""
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        name = sock.getsockname()
+        return name[0], name[1]
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; safe to call from any thread."""
+        if self._loop is None:
+            return
+        self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main-thread loops only)."""
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self._shutdown.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                return  # non-main thread or unsupported platform
+
+    async def run_until_shutdown(self) -> None:
+        """Serve until :meth:`request_shutdown` (or a signal), then drain."""
+        assert self._server is not None, "call start() first"
+        await self._shutdown.wait()
+        await self.drain()
+
+    async def drain(self) -> None:
+        """Graceful stop: close the listener, let every admitted request
+        finish and flush its response, then shut the pool down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        while self._active_connections or self.backend.open_requests:
+            await asyncio.sleep(0.02)
+        loop = asyncio.get_running_loop()
+        # pool.close joins the supervision thread; keep the loop alive.
+        await loop.run_in_executor(None, self.pool.close)
+
+    # -- plumbing
+
+    def _count(self, endpoint: str, status: int) -> None:
+        key = (endpoint, status)
+        self._request_counts[key] = self._request_counts.get(key, 0) + 1
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        head = (
+            "HTTP/1.1 %d %s\r\n"
+            "Content-Type: %s\r\n"
+            "Content-Length: %d\r\n"
+            "Connection: close\r\n"
+            "\r\n" % (status, _STATUS_TEXT[status], content_type, len(body))
+        )
+        writer.write(head.encode("ascii") + body)
+        await writer.drain()
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._active_connections += 1
+        try:
+            await self._handle_request(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        except Exception as error:  # never let one request kill the daemon
+            try:
+                await self._respond(
+                    writer, 500, error_body("internal error: %s" % error)
+                )
+                self._count("internal", 500)
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._active_connections -= 1
+
+    async def _handle_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        request_line = await reader.readline()
+        if not request_line:
+            return
+        try:
+            method, target, _version = (
+                request_line.decode("ascii").strip().split(" ", 2)
+            )
+        except (UnicodeDecodeError, ValueError):
+            await self._respond(writer, 400, error_body("malformed request line"))
+            return
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError:
+            await self._respond(writer, 400, error_body("bad Content-Length"))
+            return
+        if content_length > _MAX_BODY_BYTES:
+            await self._respond(
+                writer, 413, error_body("request body too large")
+            )
+            return
+        body = (
+            await reader.readexactly(content_length)
+            if content_length
+            else b""
+        )
+        path = target.split("?", 1)[0]
+        if path == "/health" and method == "GET":
+            await self._handle_health(writer)
+        elif path == "/metrics" and method == "GET":
+            await self._handle_metrics(writer)
+        elif path == "/analyze" and method == "POST":
+            await self._handle_analyze(writer, body)
+        elif path == "/batch" and method == "POST":
+            await self._handle_batch(writer, body)
+        elif path in ("/health", "/metrics", "/analyze", "/batch"):
+            self._count(path.strip("/"), 405)
+            await self._respond(writer, 405, error_body("method not allowed"))
+        else:
+            self._count("unknown", 404)
+            await self._respond(writer, 404, error_body("no such endpoint"))
+
+    # -- endpoints
+
+    async def _handle_health(self, writer: asyncio.StreamWriter) -> None:
+        payload = {
+            "status": "ok",
+            "mode": self.pool.stats.mode,
+            "open_requests": self.backend.open_requests,
+            "uptime_seconds": round(
+                time.monotonic() - self._started_at, 3
+            ),
+        }
+        self._count("health", 200)
+        await self._respond(
+            writer, 200, (json.dumps(payload) + "\n").encode("utf-8")
+        )
+
+    async def _handle_metrics(self, writer: asyncio.StreamWriter) -> None:
+        self._count("metrics", 200)
+        await self._respond(
+            writer,
+            200,
+            self.render_metrics().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    async def _handle_analyze(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            request = decode_request(parse_body(body), self.options.defaults)
+            runtime = request.runtime()
+            config = request.config()
+        except (BadRequest, ValueError) as error:
+            # ValueError covers UnknownEngineError / UnknownKindError /
+            # missing-input — all client mistakes.
+            self._count("analyze", 400)
+            await self._respond(writer, 400, error_body(str(error)))
+            return
+        from repro.core.orchestrator import journal_key
+        from repro.core.pipeline import analysis_fingerprint
+
+        identity = journal_key(runtime, analysis_fingerprint(config))
+        try:
+            future = self.backend.submit(runtime, config, identity)
+        except QueueFull as error:
+            self._count("analyze", 429)
+            await self._respond(writer, 429, error_body(str(error)))
+            return
+        row = await asyncio.wrap_future(future)
+        entry = row[0]
+        if entry.error_kind in HARNESS_FAULT_KINDS:
+            self._count("analyze", 500)
+            await self._respond(writer, 500, error_body(entry.error))
+            return
+        self._count("analyze", 200)
+        await self._respond(
+            writer,
+            200,
+            report_text(entry, request.name, len(runtime)).encode("utf-8"),
+        )
+
+    async def _handle_batch(
+        self, writer: asyncio.StreamWriter, body: bytes
+    ) -> None:
+        try:
+            requests = batch_requests(parse_body(body), self.options.defaults)
+        except BadRequest as error:
+            self._count("batch", 400)
+            await self._respond(writer, 400, error_body(str(error)))
+            return
+        # Stream NDJSON in completion order: headers first (no
+        # Content-Length — the connection close delimits the body), then
+        # one line per contract the moment its row resolves.
+        self._count("batch", 200)
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        await writer.drain()
+
+        async def _resolve(index: int, request: AnalyzeRequest) -> Dict:
+            try:
+                runtime = request.runtime()
+                config = request.config()
+            except ValueError as error:
+                return {"index": index, "error": str(error), "status": 400}
+            from repro.core.orchestrator import journal_key
+            from repro.core.pipeline import analysis_fingerprint
+
+            identity = journal_key(runtime, analysis_fingerprint(config))
+            try:
+                future = self.backend.submit(runtime, config, identity)
+            except QueueFull as error:
+                return {"index": index, "error": str(error), "status": 429}
+            row = await asyncio.wrap_future(future)
+            entry = row[0]
+            if entry.error_kind in HARNESS_FAULT_KINDS:
+                return {"index": index, "error": entry.error, "status": 500}
+            report = ContractReport.from_entry(
+                entry, name=request.name, bytecode_size=len(runtime)
+            )
+            return {"index": index, "report": dataclasses.asdict(report)}
+
+        tasks = [
+            asyncio.ensure_future(_resolve(index, request))
+            for index, request in enumerate(requests)
+        ]
+        try:
+            for completed in asyncio.as_completed(tasks):
+                line = await completed
+                writer.write(
+                    (json.dumps(line, separators=(",", ":")) + "\n").encode(
+                        "utf-8"
+                    )
+                )
+                await writer.drain()
+        finally:
+            for task in tasks:
+                task.cancel()
+
+    # -- metrics
+
+    def render_metrics(self) -> str:
+        """The /metrics payload: serving funnel + orchestrator counters."""
+        pool_stats = self.pool.stats
+        backend_stats = self.backend.stats
+        requests = Metric(
+            "repro_serve_requests_total",
+            "HTTP requests handled, by endpoint and status code.",
+            "counter",
+        )
+        for (endpoint, status), count in sorted(self._request_counts.items()):
+            requests.add(count, endpoint=endpoint, status=str(status))
+        metrics = [
+            requests,
+            Metric(
+                "repro_serve_queue_depth",
+                "Admitted analysis requests not yet resolved.",
+                "gauge",
+            ).add(self.backend.open_requests),
+            Metric(
+                "repro_serve_inflight_identities",
+                "Distinct request identities currently being analyzed.",
+                "gauge",
+            ).add(self.backend.inflight_identities),
+            Metric(
+                "repro_serve_coalesced_requests_total",
+                "Requests that joined an in-flight duplicate's analysis.",
+                "counter",
+            ).add(backend_stats.coalesced),
+            Metric(
+                "repro_serve_report_cache_hits_total",
+                "Requests resolved from the in-memory completed-row cache.",
+                "counter",
+            ).add(backend_stats.report_cache_hits),
+            Metric(
+                "repro_serve_result_cache_hits_total",
+                "Requests resolved from the cross-run disk result cache.",
+                "counter",
+            ).add(backend_stats.result_cache_hits),
+            Metric(
+                "repro_serve_queue_rejections_total",
+                "Requests rejected by admission control (HTTP 429).",
+                "counter",
+            ).add(backend_stats.rejections),
+            Metric(
+                "repro_serve_uptime_seconds",
+                "Seconds since the daemon started.",
+                "gauge",
+            ).add(round(time.monotonic() - self._started_at, 3)),
+            Metric(
+                "repro_orchestrator_workers",
+                "Peak worker processes in the persistent pool.",
+                "gauge",
+            ).add(pool_stats.workers),
+            Metric(
+                "repro_orchestrator_dispatched_total",
+                "Tasks dispatched to workers, retries included.",
+                "counter",
+            ).add(pool_stats.dispatched),
+            Metric(
+                "repro_orchestrator_completed_total",
+                "Tasks that produced a result row.",
+                "counter",
+            ).add(pool_stats.completed),
+            Metric(
+                "repro_orchestrator_heartbeats_total",
+                "Supervision heartbeats emitted.",
+                "counter",
+            ).add(pool_stats.heartbeats),
+            Metric(
+                "repro_orchestrator_retries_total",
+                "Transient task failures retried with backoff.",
+                "counter",
+            ).add(pool_stats.retries),
+            Metric(
+                "repro_orchestrator_crashes_total",
+                "Worker processes that died and were respawned.",
+                "counter",
+            ).add(pool_stats.crashes),
+            Metric(
+                "repro_orchestrator_watchdog_kills_total",
+                "Hung workers SIGKILLed by the watchdog.",
+                "counter",
+            ).add(pool_stats.watchdog_kills),
+            Metric(
+                "repro_orchestrator_recycles_total",
+                "Workers retired after recycle_after tasks.",
+                "counter",
+            ).add(pool_stats.recycles),
+        ]
+        return encode_metrics(metrics)
+
+
+def serve_forever(options: Optional[ServeOptions] = None) -> None:
+    """Blocking entry point: run the daemon until SIGTERM/SIGINT."""
+    asyncio.run(_serve_main(options or ServeOptions()))
+
+
+async def _serve_main(options: ServeOptions) -> None:
+    server = AnalysisServer(options)
+    await server.start()
+    server.install_signal_handlers()
+    host, port = server.address
+    print(
+        "repro serve listening on http://%s:%d "
+        "(jobs=%d, max_queue=%d, dedup=%s)"
+        % (host, port, options.jobs, options.max_queue, options.dedup),
+        flush=True,
+    )
+    await server.run_until_shutdown()

@@ -1,0 +1,69 @@
+"""Prometheus text exposition for the serving daemon.
+
+A tiny stdlib encoder for the text format (version 0.0.4): each metric
+renders ``# HELP`` / ``# TYPE`` header lines followed by one sample per
+label set.  Only the two sample shapes the daemon needs are supported —
+counters and gauges, with optional labels — which keeps the encoder a
+page long instead of a dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+__all__ = ["Metric", "encode_metrics"]
+
+Number = Union[int, float]
+
+
+@dataclass
+class Metric:
+    """One metric family: name, help text, type, and its samples."""
+
+    name: str
+    help: str
+    type: str  # "counter" | "gauge"
+    samples: List[Tuple[Dict[str, str], Number]] = field(default_factory=list)
+
+    def add(self, value: Number, **labels: str) -> "Metric":
+        self.samples.append((labels, value))
+        return self
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: Number) -> str:
+    if isinstance(value, bool):  # bool is an int; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def encode_metrics(metrics: List[Metric]) -> str:
+    """Render metric families to the Prometheus text format."""
+    lines: List[str] = []
+    for metric in metrics:
+        lines.append("# HELP %s %s" % (metric.name, _escape_help(metric.help)))
+        lines.append("# TYPE %s %s" % (metric.name, metric.type))
+        for labels, value in metric.samples:
+            if labels:
+                label_text = "{%s}" % ",".join(
+                    '%s="%s"' % (key, _escape_label(str(val)))
+                    for key, val in sorted(labels.items())
+                )
+            else:
+                label_text = ""
+            lines.append(
+                "%s%s %s" % (metric.name, label_text, _format_value(value))
+            )
+    return "\n".join(lines) + "\n"

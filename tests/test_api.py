@@ -197,3 +197,124 @@ class TestDeprecatedShims:
         assert not [
             w for w in caught if issubclass(w.category, DeprecationWarning)
         ]
+
+
+class TestDeprecationRegistry:
+    """The finalized removal list: every shim is registered with its
+    exact replacement, resolves, and warns exactly once."""
+
+    def test_every_registered_shim_resolves_and_warns_once(self):
+        import importlib
+
+        from repro._compat import (
+            DEPRECATED_ENTRY_POINTS,
+            warn_deprecated_entry,
+        )
+
+        assert DEPRECATED_ENTRY_POINTS  # the list is non-empty and final
+        for old, new in DEPRECATED_ENTRY_POINTS.items():
+            old_module, old_attr = old.rsplit(".", 1)
+            shim = getattr(importlib.import_module(old_module), old_attr)
+            assert callable(shim), old
+            new_module, new_attr = new.rsplit(".", 1)
+            replacement = getattr(importlib.import_module(new_module), new_attr)
+            assert callable(replacement), new
+            reset_deprecation_registry()
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                warn_deprecated_entry(old, new)
+                warn_deprecated_entry(old, new)
+            deprecations = [
+                w for w in caught if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1, old
+            assert new in str(deprecations[0].message)
+
+    def test_unregistered_shim_is_a_programming_error(self):
+        from repro._compat import warn_deprecated_entry
+
+        with pytest.raises(AssertionError):
+            warn_deprecated_entry("repro.core.nowhere.nothing", "repro.api.analyze")
+
+    def test_replacements_live_on_the_public_surface(self):
+        from repro._compat import DEPRECATED_ENTRY_POINTS
+
+        for new in DEPRECATED_ENTRY_POINTS.values():
+            module, attr = new.rsplit(".", 1)
+            assert module == "repro.api"
+            assert attr in api.__all__
+
+
+class TestAnalyzeRequest:
+    def test_exported_and_frozen(self):
+        import dataclasses
+
+        assert "AnalyzeRequest" in api.__all__
+        request = api.AnalyzeRequest(engine="datalog")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            request.engine = "python"
+
+    def test_config_matches_direct_construction(self):
+        request = api.AnalyzeRequest(
+            engine="datalog",
+            value_analysis=True,
+            deadline=30.0,
+            kinds=("tainted-selfdestruct",),
+            model_guards=False,
+        )
+        config = request.config()
+        assert config == api.AnalysisConfig(
+            engine="datalog",
+            value_analysis=True,
+            timeout_seconds=30.0,
+            kinds=("tainted-selfdestruct",),
+            model_guards=False,
+        )
+
+    def test_validation_is_lazy_and_loud(self):
+        bad_engine = api.AnalyzeRequest(engine="nope")  # constructs fine
+        with pytest.raises(ValueError, match="unknown engine"):
+            bad_engine.config()
+        from repro.core.vulnerabilities import UnknownKindError
+
+        with pytest.raises(UnknownKindError):
+            api.AnalyzeRequest(kinds=("not-a-kind",)).config()
+
+    def test_runtime_from_bytecode_and_source(self, bytecodes):
+        assert api.AnalyzeRequest(bytecode=bytecodes[0]).runtime() == bytecodes[0]
+        source = "contract C { function f() public {} }"
+        compiled = api.AnalyzeRequest(source=source).runtime()
+        assert isinstance(compiled, bytes) and compiled
+        with pytest.raises(ValueError, match="no contract input"):
+            api.AnalyzeRequest().runtime()
+        with pytest.raises(ValueError, match="not both"):
+            api.AnalyzeRequest(bytecode=b"\x00", source=source).runtime()
+
+    def test_identity_matches_sweep_identity(self, bytecodes):
+        from repro.core.orchestrator import journal_key, sweep_fingerprint
+
+        request = api.AnalyzeRequest(bytecode=bytecodes[0], engine="datalog")
+        expected = journal_key(
+            bytecodes[0], sweep_fingerprint((request.config(),))
+        )
+        assert request.identity() == expected
+
+    def test_analyze_accepts_request(self, bytecodes):
+        request = api.AnalyzeRequest(bytecode=bytecodes[0])
+        direct = api.analyze(bytecodes[0])
+        via_request = api.analyze(request)
+        assert [w.kind for w in via_request.warnings] == [
+            w.kind for w in direct.warnings
+        ]
+        with pytest.raises(ValueError, match="inside the AnalyzeRequest"):
+            api.analyze(request, api.AnalysisConfig())
+
+    def test_sweep_and_battery_accept_requests(self, bytecodes):
+        request = api.AnalyzeRequest(engine="datalog")
+        via_request = api.sweep(bytecodes[:3], request)
+        direct = api.sweep(bytecodes[:3], api.AnalysisConfig(engine="datalog"))
+        assert [e.kinds for e in via_request.entries] == [
+            e.kinds for e in direct.entries
+        ]
+        battery = api.battery(bytecodes[:2], [request, api.AnalysisConfig()])
+        assert len(battery) == 2

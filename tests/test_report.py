@@ -214,3 +214,125 @@ class TestCliJsonPaths:
         assert "flag rate" in output
         payload = json.loads(json_path.read_text())
         assert payload["total_contracts"] == 10
+
+
+class TestSchemaVersionErrors:
+    """Regression: the unsupported-version message interpolates the
+    supported range from SUPPORTED_SCHEMA_VERSIONS, not a stale literal."""
+
+    def test_message_names_every_supported_version(self):
+        from repro.core.report import SUPPORTED_SCHEMA_VERSIONS
+
+        with pytest.raises(ValueError) as excinfo:
+            ContractReport.from_json({"schema_version": 99})
+        message = str(excinfo.value)
+        assert "schema_version 99" in message
+        expected = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
+        assert "(supported: %s)" % expected in message
+
+    def test_sweep_report_same_message(self):
+        with pytest.raises(ValueError, match="unsupported SweepReport"):
+            SweepReport.from_json({"schema_version": 99})
+
+    def test_current_and_v1_still_parse(self):
+        from repro.core.report import SUPPORTED_SCHEMA_VERSIONS
+
+        for version in SUPPORTED_SCHEMA_VERSIONS:
+            assert ContractReport.from_json({"schema_version": version})
+
+
+class TestPr8CounterRoundTrips:
+    """Regression: error_kind_counts and the PR 8 dedup counters survive
+    a from_json round-trip, contracts included or not."""
+
+    def _errored_sweep(self):
+        report = SweepReport()
+        report.add(ContractReport(name="t", error="timeout: budget exhausted"))
+        report.add(ContractReport(name="l", error="lift-error: bad jump"))
+        report.add(ContractReport(name="ok"))
+        report.orchestrator = {
+            "tasks_total": 30,
+            "tasks_unique": 3,
+            "dedup_hits": 27,
+            "result_cache_hits": 5,
+        }
+        return report
+
+    def test_round_trip_with_contracts_is_byte_identical(self):
+        report = self._errored_sweep()
+        text = report.to_json()
+        assert SweepReport.from_json(text).to_json() == text
+
+    def test_summary_only_round_trip_keeps_error_kinds_and_dedup(self):
+        report = self._errored_sweep()
+        text = report.to_json(include_contracts=False)
+        parsed = SweepReport.from_json(text)
+        assert parsed.error_kind_counts() == {"timeout": 1, "lift-error": 1}
+        assert parsed.orchestrator["dedup_hits"] == 27
+        assert parsed.orchestrator["result_cache_hits"] == 5
+        # And the round-trip is still byte-identical without contracts.
+        assert parsed.to_json(include_contracts=False) == text
+
+    def test_contracts_recompute_wins_over_fallback(self):
+        report = self._errored_sweep()
+        parsed = SweepReport.from_json(report.to_json())
+        # With contracts present the counts come from them, not the cache.
+        parsed.error_kind_fallback = {"bogus": 99}
+        assert parsed.error_kind_counts() == {"timeout": 1, "lift-error": 1}
+
+
+class TestDatalogPayloadParity:
+    """Regression: batch entries carry the full EngineStats payload, so a
+    report built from an entry equals one built from the result."""
+
+    def test_from_entry_matches_from_result_for_datalog_engine(self):
+        from repro import api
+        from repro.core.batch import _entry_from_result
+        from repro.corpus import generate_corpus
+
+        contract = generate_corpus(3, seed=11)[2]
+        result = api.analyze(
+            contract.runtime, api.AnalysisConfig(engine="datalog")
+        )
+        assert result.datalog_stats, "datalog engine must report stats"
+        entry = _entry_from_result(0, result)
+        via_entry = ContractReport.from_entry(
+            entry, name="c", bytecode_size=len(contract.runtime)
+        )
+        via_result = ContractReport.from_result(
+            result, name="c", bytecode_size=len(contract.runtime)
+        )
+        assert via_entry.to_json() == via_result.to_json()
+        # The non-scalar members made the trip.
+        assert "rule_derivations" in via_entry.datalog
+        assert isinstance(via_entry.datalog.get("stratum_iterations"), list)
+
+    def test_datalog_totals_skips_non_scalar_members(self):
+        from repro.core.batch import BatchEntry, BatchSummary
+
+        summary = BatchSummary()
+        summary.entries.append(
+            BatchEntry(
+                index=0,
+                kinds=(),
+                error=None,
+                elapsed_seconds=0.0,
+                statement_count=1,
+                datalog={
+                    "derived_facts": 5,
+                    "rule_derivations": {"r1": 5},
+                    "stratum_iterations": [1, 2],
+                },
+            )
+        )
+        summary.entries.append(
+            BatchEntry(
+                index=1,
+                kinds=(),
+                error=None,
+                elapsed_seconds=0.0,
+                statement_count=1,
+                datalog={"derived_facts": 7, "rule_derivations": {"r1": 7}},
+            )
+        )
+        assert summary.datalog_totals() == {"derived_facts": 12}
