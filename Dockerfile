@@ -1,0 +1,26 @@
+# Container recipe for the analysis-as-a-service daemon (`repro serve`).
+#
+# The analyzer is pure stdlib + the repository sources, so the image is a
+# plain slim Python base with `src/` copied in — no pip install step.
+#
+#   docker build -t repro-serve .
+#   docker run -p 8080:8080 repro-serve
+#   curl -s localhost:8080/health
+#   curl -s -X POST localhost:8080/analyze -d '{"bundle": [...]}'
+
+FROM python:3.12-slim
+
+WORKDIR /app
+COPY src/ /app/src/
+
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1
+
+EXPOSE 8080
+
+# The daemon answers GET /health with {"status": "ok", ...} once the
+# worker pool is up; fail the container if it stops doing so.
+HEALTHCHECK --interval=15s --timeout=3s --start-period=10s --retries=3 \
+    CMD ["python", "-c", "import urllib.request,sys; sys.exit(0 if b'ok' in urllib.request.urlopen('http://127.0.0.1:8080/health', timeout=2).read() else 1)"]
+
+CMD ["python", "-m", "repro", "serve", "--host", "0.0.0.0", "--port", "8080"]

@@ -45,9 +45,21 @@ from repro.core.orchestrator import (
     ResultCache,
     run_sweep,
 )
+from repro.core.linkage import (
+    BundleContract,
+    BundleResult,
+    CallEdge,
+    ContractBundle,
+    CrossContractFinding,
+    bundle_contract,
+    bundle_from_specs,
+    load_bundle_file,
+)
+from repro.core.linkage import analyze_bundle as _analyze_bundle
 from repro.core.pipeline import ArtifactCache
-from repro.core.report import ContractReport, SweepReport
+from repro.core.report import BundleReport, ContractReport, SweepReport
 from repro.core.vulnerabilities import (
+    CROSS_CONTRACT_KINDS,
     VULNERABILITY_KINDS,
     Finding,
     UnknownKindError,
@@ -56,6 +68,7 @@ from repro.core.vulnerabilities import (
 
 __all__ = [
     "analyze",
+    "analyze_bundle",
     "sweep",
     "battery",
     "AnalyzeRequest",
@@ -64,7 +77,14 @@ __all__ = [
     "ArtifactCache",
     "BatchEntry",
     "BatchSummary",
+    "BundleContract",
+    "BundleReport",
+    "BundleResult",
+    "CallEdge",
+    "ContractBundle",
     "ContractReport",
+    "CrossContractFinding",
+    "CROSS_CONTRACT_KINDS",
     "EthainterAnalysis",
     "FaultPlan",
     "Finding",
@@ -76,6 +96,9 @@ __all__ = [
     "VULNERABILITY_KINDS",
     "WarmEngineCache",
     "Warning",
+    "bundle_contract",
+    "bundle_from_specs",
+    "load_bundle_file",
     "validate_kinds",
 ]
 
@@ -124,6 +147,10 @@ class AnalyzeRequest:
     bytecode: Optional[bytes] = None
     source: Optional[str] = None
     contract: Optional[str] = None  # contract name within ``source``
+    # Multi-contract input (repro.core.linkage.ContractBundle); mutually
+    # exclusive with bytecode/source.  analyze() on a bundle request
+    # returns a BundleResult instead of an AnalysisResult.
+    bundle: Optional[ContractBundle] = None
     name: str = ""  # display name for reports
     engine: str = "python"
     kinds: Optional[Tuple[str, ...]] = None
@@ -152,6 +179,16 @@ class AnalyzeRequest:
 
     def runtime(self) -> bytes:
         """The runtime bytecode, compiling MiniSol ``source`` if given."""
+        if self.bundle is not None:
+            if self.bytecode is not None or self.source is not None:
+                raise ValueError(
+                    "AnalyzeRequest takes a bundle or bytecode/source, "
+                    "not both"
+                )
+            raise ValueError(
+                "a bundle request has no single runtime; use analyze() "
+                "(which dispatches to analyze_bundle) or the bundle itself"
+            )
         if self.bytecode is not None and self.source is not None:
             raise ValueError(
                 "AnalyzeRequest takes bytecode or source, not both"
@@ -180,7 +217,15 @@ class AnalyzeRequest:
 
     def identity(self) -> str:
         """``sha256(bytecode) + config fingerprint`` — the journal /
-        result-cache / serving-dedup key for this exact request."""
+        result-cache / serving-dedup key for this exact request.  Bundle
+        requests key on the bundle digest instead of a single bytecode."""
+        if self.bundle is not None:
+            if self.bytecode is not None or self.source is not None:
+                raise ValueError(
+                    "AnalyzeRequest takes a bundle or bytecode/source, "
+                    "not both"
+                )
+            return "bundle:%s:%s" % (self.bundle.digest(), self.fingerprint())
         from repro.core.orchestrator import journal_key
 
         return journal_key(self.runtime(), self.fingerprint())
@@ -223,9 +268,50 @@ def analyze(
                 "not as a separate config"
             )
         request = bytecode
+        if request.bundle is not None:
+            if request.bytecode is not None or request.source is not None:
+                raise ValueError(
+                    "AnalyzeRequest takes a bundle or bytecode/source, "
+                    "not both"
+                )
+            return _analyze_bundle(
+                request.bundle, request.config(), cache=cache, warm=warm
+            )
         bytecode = request.runtime()
         config = request.config()
     return EthainterAnalysis(config, cache=cache, warm=warm).analyze(bytecode)
+
+
+def analyze_bundle(
+    bundle: "Union[ContractBundle, AnalyzeRequest]",
+    config: "Union[AnalysisConfig, AnalyzeRequest, None]" = None,
+    *,
+    cache: Optional[ArtifactCache] = None,
+    warm=None,
+) -> BundleResult:
+    """Analyze a multi-contract :class:`ContractBundle` as one deployment.
+
+    Each contract runs the standard per-contract pipeline; multi-contract
+    bundles additionally resolve the inter-contract call graph and run the
+    merged namespaced EDB through one Datalog fixpoint with the
+    cross-contract strata (``proxy-upgrade-hijack``,
+    ``cross-contract-escalation``) — see :mod:`repro.core.linkage`.  A
+    one-contract bundle stops after the per-contract pass, so its report
+    is byte-identical to :func:`analyze` on that contract.
+    """
+    if isinstance(bundle, AnalyzeRequest):
+        if config is not None:
+            raise ValueError(
+                "pass configuration inside the AnalyzeRequest, "
+                "not as a separate config"
+            )
+        if bundle.bundle is None:
+            raise ValueError("AnalyzeRequest has no bundle")
+        config = bundle.config()
+        bundle = bundle.bundle
+    return _analyze_bundle(
+        bundle, _coerce_config(config), cache=cache, warm=warm
+    )
 
 
 def _options(

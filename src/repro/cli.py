@@ -144,7 +144,10 @@ def _request_from_args(args: argparse.Namespace, **overrides) -> api.AnalyzeRequ
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    """``repro analyze``: run Ethainter on source or hex bytecode."""
+    """``repro analyze``: run Ethainter on source or hex bytecode, or a
+    multi-contract ``--bundle`` through the cross-contract pass."""
+    if getattr(args, "bundle", None):
+        return _analyze_bundle_cmd(args)
     runtime = _read_bytecode(args)
     request = _request_from_args(args)
     config = request.config()
@@ -208,6 +211,74 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(
             "baselines: securify=%d violation(s), teether=%s"
             % (len(securify.violations), sorted(teether.kinds()) or "none")
+        )
+    return 1
+
+
+def _analyze_bundle_cmd(args: argparse.Namespace) -> int:
+    """The ``repro analyze --bundle FILE`` path: cross-contract analysis."""
+    if args.source or args.hex:
+        raise SystemExit("--bundle replaces --source/--hex, not combines")
+    from repro.core.report import BundleReport
+
+    try:
+        bundle = api.load_bundle_file(Path(args.bundle))
+    except (OSError, ValueError) as error:
+        raise SystemExit("bad bundle file: %s" % error) from None
+    request = _request_from_args(args, bundle=bundle)
+    result = api.analyze_bundle(request)
+    report = BundleReport.from_result(result)
+    if args.json:
+        text = report.to_json()
+        if args.json == "-":
+            print(text)
+        else:
+            Path(args.json).write_text(text)
+            print("report written to %s" % args.json)
+        return 1 if report.flagged else 0
+    for contract, contract_report in zip(bundle.contracts, report.contracts):
+        if contract_report.error:
+            print(
+                "%s (0x%x): analysis error: %s"
+                % (contract.label(), contract.address, contract_report.error)
+            )
+            continue
+        print(
+            "%s (0x%x): %d blocks / %d statements, %d warning(s)"
+            % (
+                contract.label(),
+                contract.address,
+                contract_report.block_count,
+                contract_report.statement_count,
+                len(contract_report.warnings),
+            )
+        )
+        for warning in contract_report.warnings:
+            location = (
+                "pc=0x%x" % warning["pc"]
+                if warning["pc"] >= 0
+                else "slot=%s" % warning["slot"]
+            )
+            print("  [%s] %s — %s" % (warning["kind"], location, warning["detail"]))
+    resolved = sum(1 for edge in result.call_edges if edge.callee is not None)
+    print(
+        "call graph: %d site(s), %d resolved within the bundle"
+        % (len(result.call_edges), resolved)
+    )
+    for edge in result.call_edges:
+        target = "0x%x" % edge.callee if edge.callee is not None else "?"
+        via = " via slot %d" % edge.slot if edge.slot is not None else ""
+        print(
+            "  0x%x --%s--> %s%s (pc=0x%x)"
+            % (edge.caller, edge.kind, target, via, edge.pc)
+        )
+    if not result.cross_findings:
+        print("no cross-contract vulnerabilities found")
+        return 1 if report.flagged else 0
+    for finding in result.cross_findings:
+        print(
+            "[%s] 0x%x pc=0x%x — %s"
+            % (finding.kind, finding.address, finding.pc, finding.detail)
         )
     return 1
 
@@ -629,6 +700,12 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="run the Ethainter analysis", parents=[analysis_parent]
     )
     _add_input_args(analyze)
+    analyze.add_argument(
+        "--bundle",
+        help="multi-contract bundle JSON file (cross-contract analysis); "
+        'shape: {"contracts": [{"address", "source"|"bytecode"|'
+        '"source_file"|"hex_file", "name", "storage"}, ...]}',
+    )
     analyze.add_argument("--no-guards", action="store_true", help="Fig. 8b ablation")
     analyze.add_argument("--no-storage", action="store_true", help="Fig. 8a ablation")
     analyze.add_argument(

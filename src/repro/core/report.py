@@ -289,3 +289,108 @@ class SweepReport:
         if include_contracts:
             payload["contracts"] = [asdict(report) for report in self.contracts]
         return json.dumps(payload, indent=indent)
+
+
+@dataclass
+class BundleReport:
+    """A multi-contract bundle's analysis (:mod:`repro.core.linkage`).
+
+    Carries one :class:`ContractReport` per bundle contract (keyed by hex
+    address) plus the cross-contract layer: the resolved call graph and the
+    merged-fixpoint verdicts.  A *single-contract* bundle renders as that
+    contract's plain :class:`ContractReport` JSON — byte-identical to
+    ``repro analyze --json`` on the same contract, with no cross block.
+    """
+
+    schema_version: int = SCHEMA_VERSION
+    contracts: List[ContractReport] = field(default_factory=list)
+    addresses: List[str] = field(default_factory=list)
+    call_edges: List[Dict] = field(default_factory=list)
+    cross_warnings: List[Dict] = field(default_factory=list)
+    datalog: Optional[Dict] = None
+
+    @classmethod
+    def from_result(cls, result: "BundleResult") -> "BundleReport":
+        contracts: List[ContractReport] = []
+        addresses: List[str] = []
+        for contract in result.bundle.contracts:
+            addresses.append("0x%x" % contract.address)
+            contracts.append(
+                ContractReport.from_result(
+                    result.results[contract.address],
+                    name=contract.label(),
+                    bytecode_size=len(contract.runtime()),
+                )
+            )
+        return cls(
+            contracts=contracts,
+            addresses=addresses,
+            call_edges=[
+                {
+                    "caller": "0x%x" % edge.caller,
+                    "site": edge.site,
+                    "pc": edge.pc,
+                    "kind": edge.kind,
+                    "callee": (
+                        "0x%x" % edge.callee if edge.callee is not None else None
+                    ),
+                    "slot": edge.slot,
+                }
+                for edge in result.call_edges
+            ],
+            cross_warnings=[
+                {
+                    "kind": finding.kind,
+                    "address": "0x%x" % finding.address,
+                    "pc": finding.pc,
+                    "statement": finding.statement,
+                    "slot": finding.slot,
+                    "via": (
+                        "0x%x" % finding.via if finding.via is not None else None
+                    ),
+                    "detail": finding.detail,
+                }
+                for finding in result.cross_findings
+            ],
+            datalog=result.engine_stats,
+        )
+
+    @classmethod
+    def from_json(cls, data: Union[str, Dict]) -> "BundleReport":
+        payload = _parse_payload(data, "BundleReport")
+        known = {f.name for f in dataclass_fields(cls)}
+        report = cls(
+            **{
+                k: v
+                for k, v in payload.items()
+                if k in known and k != "contracts"
+            }
+        )
+        report.contracts = [
+            ContractReport.from_json(contract)
+            for contract in payload.get("contracts") or []
+        ]
+        report.schema_version = SCHEMA_VERSION
+        return report
+
+    @property
+    def flagged(self) -> bool:
+        return bool(self.cross_warnings) or any(
+            report.warnings for report in self.contracts
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        if len(self.contracts) == 1 and not self.cross_warnings:
+            # Single-contract bundles degrade to the exact per-contract
+            # report shape (the byte-identity contract with `repro
+            # analyze --json`).
+            return self.contracts[0].to_json(indent=indent)
+        payload = {
+            "schema_version": self.schema_version,
+            "addresses": list(self.addresses),
+            "contracts": [asdict(report) for report in self.contracts],
+            "call_edges": list(self.call_edges),
+            "cross_warnings": list(self.cross_warnings),
+            "datalog": self.datalog,
+        }
+        return json.dumps(payload, indent=indent)

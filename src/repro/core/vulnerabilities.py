@@ -66,6 +66,19 @@ VULNERABILITY_KINDS = (
     STATE_WRITE_AFTER_CALL,
 )
 
+# Verdicts only the merged multi-contract fixpoint can derive
+# (repro.core.linkage).  Kept out of VULNERABILITY_KINDS: the per-contract
+# detectors, kinds filters, and SweepReport.kind_counts keep their exact
+# shapes, and a cross-contract finding can never appear in a
+# single-contract report.
+PROXY_UPGRADE_HIJACK = "proxy-upgrade-hijack"
+CROSS_CONTRACT_ESCALATION = "cross-contract-escalation"
+
+CROSS_CONTRACT_KINDS = (
+    PROXY_UPGRADE_HIJACK,
+    CROSS_CONTRACT_ESCALATION,
+)
+
 
 class UnknownKindError(ValueError):
     """A kinds filter named a vulnerability kind that does not exist."""

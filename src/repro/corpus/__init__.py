@@ -18,6 +18,10 @@ benchmarks compute exact precision/recall where the paper relied on manual
 inspection.
 """
 
+from repro.corpus.bundles import (
+    BUNDLE_TEMPLATES,
+    BundleTemplateOutput,
+)
 from repro.corpus.generator import (
     CorpusContract,
     SyntheticMainnet,
@@ -37,5 +41,7 @@ __all__ = [
     "SyntheticMainnet",
     "TEMPLATES",
     "REENTRANCY_TEMPLATES",
+    "BUNDLE_TEMPLATES",
     "TemplateOutput",
+    "BundleTemplateOutput",
 ]

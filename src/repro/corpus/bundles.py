@@ -1,0 +1,259 @@
+"""Labeled multi-contract bundle templates for the cross-contract corpus.
+
+Single-contract templates (:mod:`repro.corpus.templates`) exercise the
+per-contract detectors; these bundle templates exercise the composite
+chains that only exist *between* contracts (:mod:`repro.core.linkage`):
+
+* **proxy pair** — a delegatecall proxy dispatching through a constant
+  implementation slot, paired with the implementation it points at.  The
+  vulnerable variant's implementation exposes an unguarded initializer
+  that (running in the proxy's storage context) rewrites the dispatch
+  slot; the benign variant guards the initializer behind an admin check
+  that can never pass in the proxy's context.  Ground truth:
+  ``proxy-upgrade-hijack`` on the vulnerable pair only, and — the
+  precision half — *neither contract flagged when analyzed alone*.
+
+* **escalation pair** — contract A forwards an attacker-chosen argument
+  through a resolved CALL into contract B, whose privileged store is
+  guarded by ``msg.sender == <address of A>``.  The vulnerable variant
+  leaves A's forwarding entry point unguarded (the trust edge is
+  attacker-drivable); the benign variant owner-guards it.  Ground truth:
+  ``cross-contract-escalation`` on the vulnerable pair only.
+
+Bundles are kept out of the single-contract ``TEMPLATES`` registry (and
+therefore out of every sweep's default weights) exactly as
+``REENTRANCY_TEMPLATES`` are: they are a separate corpus dimension with
+their own consumer (`benchmarks/test_cross_contract_precision.py`, the
+kill replay, and ``repro analyze --bundle`` examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Set, Tuple
+
+from repro.core.linkage import BundleContract, ContractBundle, bundle_contract
+
+# Deterministic, human-legible deployment addresses.
+PROXY_ADDRESS = 0x1000
+LOGIC_ADDRESS = 0x2000
+VAULT_ADDRESS = 0x3000
+TREASURY_ADDRESS = 0x4000
+DEPLOYER = 0xD00D
+
+PROXY_SOURCE = """contract Proxy {
+    address implementation;
+    address owner;
+
+    constructor(address impl) {
+        implementation = impl;
+        owner = msg.sender;
+    }
+
+    function execute(address arg) public {
+        delegatecall(implementation, "init(address)", arg);
+    }
+
+    function upgrade(address impl) public {
+        require(msg.sender == owner);
+        implementation = impl;
+    }
+}
+"""
+
+# Vulnerable implementation: `init` is a classic unprotected initializer.
+# Run via the proxy's delegatecall it writes *the proxy's* slot 0 — the
+# dispatch slot — handing the attacker the next delegatecall target.
+LOGIC_SOURCE = """contract Logic {
+    address implementation;
+
+    function init(address impl) public {
+        implementation = impl;
+    }
+}
+"""
+
+# Benign implementation: the initializer demands msg.sender == admin, and
+# in the proxy's storage context slot 1 holds the deployer, never the
+# attacker — the write is unreachable, the pair is clean.
+SAFE_LOGIC_SOURCE = """contract SafeLogic {
+    address implementation;
+    address admin;
+
+    function init(address impl) public {
+        require(msg.sender == admin);
+        implementation = impl;
+    }
+}
+"""
+
+# Vulnerable forwarder: anyone can make the Vault speak to the Treasury,
+# and the Treasury believes everything the Vault says.
+VAULT_SOURCE = """contract Vault {
+    address treasury;
+
+    function route(address who) public {
+        call(treasury, "setBeneficiary(address)", who);
+    }
+}
+"""
+
+SAFE_VAULT_SOURCE = """contract SafeVault {
+    address treasury;
+    address owner;
+
+    function route(address who) public {
+        require(msg.sender == owner);
+        call(treasury, "setBeneficiary(address)", who);
+    }
+}
+"""
+
+TREASURY_SOURCE = """contract Treasury {
+    address vault;
+    address beneficiary;
+
+    function setBeneficiary(address who) public {
+        require(msg.sender == vault);
+        beneficiary = who;
+    }
+}
+"""
+
+# The Treasury slot the escalation overwrites (checked by the kill replay).
+TREASURY_BENEFICIARY_SLOT = 1
+
+
+@dataclass
+class BundleTemplateOutput:
+    """One generated bundle plus its ground truth."""
+
+    template: str
+    bundle: ContractBundle
+    labels: Set[str] = field(default_factory=set)  # expected cross verdicts
+    # The entry point an exploit drives, as (address, function signature).
+    entry: Tuple[int, str] = (0, "")
+
+
+def proxy_pair() -> BundleTemplateOutput:
+    """The vulnerable proxy/implementation pair (§3.2 composite)."""
+    return BundleTemplateOutput(
+        template="proxy_pair",
+        bundle=ContractBundle(
+            contracts=(
+                bundle_contract(
+                    PROXY_ADDRESS,
+                    source=PROXY_SOURCE,
+                    name="Proxy",
+                    storage={0: LOGIC_ADDRESS, 1: DEPLOYER},
+                ),
+                bundle_contract(
+                    LOGIC_ADDRESS, source=LOGIC_SOURCE, name="Logic"
+                ),
+            )
+        ),
+        labels={"proxy-upgrade-hijack"},
+        entry=(PROXY_ADDRESS, "execute(address)"),
+    )
+
+
+def benign_proxy_pair() -> BundleTemplateOutput:
+    """The owner-guarded control: same shape, no verdict expected."""
+    return BundleTemplateOutput(
+        template="benign_proxy_pair",
+        bundle=ContractBundle(
+            contracts=(
+                bundle_contract(
+                    PROXY_ADDRESS,
+                    source=PROXY_SOURCE,
+                    name="Proxy",
+                    storage={0: LOGIC_ADDRESS, 1: DEPLOYER},
+                ),
+                bundle_contract(
+                    LOGIC_ADDRESS,
+                    source=SAFE_LOGIC_SOURCE,
+                    name="SafeLogic",
+                    storage={1: DEPLOYER},
+                ),
+            )
+        ),
+        labels=set(),
+        entry=(PROXY_ADDRESS, "execute(address)"),
+    )
+
+
+def escalation_pair() -> BundleTemplateOutput:
+    """The vulnerable trusted-caller escalation pair."""
+    return BundleTemplateOutput(
+        template="escalation_pair",
+        bundle=ContractBundle(
+            contracts=(
+                bundle_contract(
+                    VAULT_ADDRESS,
+                    source=VAULT_SOURCE,
+                    name="Vault",
+                    storage={0: TREASURY_ADDRESS},
+                ),
+                bundle_contract(
+                    TREASURY_ADDRESS,
+                    source=TREASURY_SOURCE,
+                    name="Treasury",
+                    storage={0: VAULT_ADDRESS},
+                ),
+            )
+        ),
+        labels={"cross-contract-escalation"},
+        entry=(VAULT_ADDRESS, "route(address)"),
+    )
+
+
+def benign_escalation_pair() -> BundleTemplateOutput:
+    """Owner-guarded forwarder: the trust edge exists but is not
+    attacker-drivable; no verdict expected."""
+    return BundleTemplateOutput(
+        template="benign_escalation_pair",
+        bundle=ContractBundle(
+            contracts=(
+                bundle_contract(
+                    VAULT_ADDRESS,
+                    source=SAFE_VAULT_SOURCE,
+                    name="SafeVault",
+                    storage={0: TREASURY_ADDRESS, 1: DEPLOYER},
+                ),
+                bundle_contract(
+                    TREASURY_ADDRESS,
+                    source=TREASURY_SOURCE,
+                    name="Treasury",
+                    storage={0: VAULT_ADDRESS},
+                ),
+            )
+        ),
+        labels=set(),
+        entry=(VAULT_ADDRESS, "route(address)"),
+    )
+
+
+BUNDLE_TEMPLATES: Dict[str, Callable[[], BundleTemplateOutput]] = {
+    "proxy_pair": proxy_pair,
+    "benign_proxy_pair": benign_proxy_pair,
+    "escalation_pair": escalation_pair,
+    "benign_escalation_pair": benign_escalation_pair,
+}
+
+
+__all__ = [
+    "BUNDLE_TEMPLATES",
+    "BundleContract",
+    "BundleTemplateOutput",
+    "ContractBundle",
+    "DEPLOYER",
+    "LOGIC_ADDRESS",
+    "PROXY_ADDRESS",
+    "TREASURY_ADDRESS",
+    "TREASURY_BENEFICIARY_SLOT",
+    "VAULT_ADDRESS",
+    "benign_escalation_pair",
+    "benign_proxy_pair",
+    "escalation_pair",
+    "proxy_pair",
+]

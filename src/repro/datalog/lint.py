@@ -60,6 +60,7 @@ _ERROR_CODES = {
     "wildcard-negation",
     "negation-in-recursion",
     "dred-negation",
+    "cross-arity-mismatch",
 }
 
 
@@ -264,7 +265,105 @@ def lint_text(text: str, source: str = "<datalog>") -> List[LintFinding]:
     return findings
 
 
+# ----------------------------------------------------- cross-program checks
+
+
+def lint_cross_program(
+    programs: Sequence[Tuple[str, str]],
+) -> List[LintFinding]:
+    """Checks that only make sense *across* a set of rule programs.
+
+    With the cross-contract strata, one relation (``TaintedStorage``,
+    ``CompromisedGuard``, ...) is now defined in one program text and
+    extended in another; two whole-set invariants keep that composition
+    honest:
+
+    * **cross-arity-mismatch** (error) — a relation ``.decl``ared with
+      different arities in different programs: the texts can never be
+      concatenated and evaluated together, and a fact emitted under one
+      program's shape silently never joins under the other's.
+    * **unread-edb** (warning) — a relation ``.decl``ared somewhere but
+      read by *no* rule in *any* program: an input relation the Python
+      side dutifully computes and loads that no rule will ever consume
+      (or a declaration left behind by a deleted rule).
+
+    Programs that fail to parse are skipped here — :func:`lint_text`
+    already reports their syntax errors.
+    """
+    findings: List[LintFinding] = []
+    # relation -> list of (source, line, arity) declarations
+    declarations: Dict[str, List[Tuple[str, int, int]]] = {}
+    heads: Set[str] = set()
+    reads: Set[str] = set()
+    for source, text in programs:
+        try:
+            program = parse_program_lenient(text)
+        except DatalogSyntaxError:
+            continue
+        for name, arity in program.declarations.items():
+            declarations.setdefault(name, []).append(
+                (source, program.declaration_lines.get(name, 0), arity)
+            )
+        for rule in program.rules:
+            heads.add(rule.head.relation)
+            for item in rule.body:
+                if isinstance(item, Literal):
+                    reads.add(item.atom.relation)
+
+    for name, decls in sorted(declarations.items()):
+        arities = sorted({arity for _, _, arity in decls})
+        if len(arities) > 1:
+            shapes = ", ".join(
+                "%s:%d declares /%d" % (source, line, arity)
+                for source, line, arity in decls
+            )
+            for source, line, _ in decls:
+                findings.append(
+                    LintFinding(
+                        source=source,
+                        line=line,
+                        code="cross-arity-mismatch",
+                        severity=ERROR,
+                        message="relation %s declared with conflicting "
+                        "arities across programs (%s)" % (name, shapes),
+                    )
+                )
+        if name not in reads:
+            # Declared relations are EDB-or-IDB inputs by intent; one no
+            # rule reads is dead weight even if some rule *derives* it.
+            for source, line, arity in decls:
+                findings.append(
+                    LintFinding(
+                        source=source,
+                        line=line,
+                        code="unread-edb",
+                        severity=WARNING,
+                        message="relation %s/%d is declared but no rule "
+                        "in any shipped program reads it" % (name, arity),
+                    )
+                )
+    findings.sort(key=lambda finding: (finding.source, finding.line, finding.code))
+    return findings
+
+
 # ------------------------------------------------------------ shipped rules
+
+# Extra programs registered at runtime (tests, experiments, plugged-in rule
+# sets).  Ordered so shipped_programs() output stays deterministic.
+_REGISTERED_PROGRAMS: Dict[str, str] = {}
+
+
+def register_program(name: str, text: str) -> None:
+    """Add a rule program to the shipped set (and invalidate the cached
+    finding count — a stale count would hide the new program's lint)."""
+    _REGISTERED_PROGRAMS[name] = text
+    shipped_finding_count.cache_clear()
+
+
+def unregister_program(name: str) -> None:
+    """Remove a registered rule program (no-op if absent)."""
+    if _REGISTERED_PROGRAMS.pop(name, None) is not None:
+        shipped_finding_count.cache_clear()
 
 
 def shipped_programs() -> List[Tuple[str, str]]:
@@ -276,8 +375,9 @@ def shipped_programs() -> List[Tuple[str, str]]:
         WRITE2_RULES,
     )
     from repro.core.datalog_rules import ETHAINTER_RULES
+    from repro.core.linkage import CROSS_CONTRACT_RULES
 
-    return [
+    programs = [
         ("core/datalog_rules.py:ETHAINTER_RULES", ETHAINTER_RULES),
         ("core/bytecode_datalog.py:CORE_RULES", CORE_RULES + WRITE2_RULES),
         (
@@ -288,19 +388,29 @@ def shipped_programs() -> List[Tuple[str, str]]:
             "core/bytecode_datalog.py:REENTRANCY_RULES",
             CORE_RULES + WRITE2_RULES + REENTRANCY_RULES,
         ),
+        (
+            "core/linkage.py:CROSS_CONTRACT_RULES",
+            CORE_RULES + WRITE2_RULES + CROSS_CONTRACT_RULES,
+        ),
     ]
+    programs.extend(_REGISTERED_PROGRAMS.items())
+    return programs
 
 
 def lint_shipped() -> List[LintFinding]:
-    """Lint every shipped rule program."""
+    """Lint every shipped rule program, plus the cross-program checks."""
+    programs = shipped_programs()
     findings: List[LintFinding] = []
-    for name, text in shipped_programs():
+    for name, text in programs:
         findings.extend(lint_text(text, source=name))
+    findings.extend(lint_cross_program(programs))
     return findings
 
 
 @lru_cache(maxsize=1)
 def shipped_finding_count() -> int:
     """Cached count of shipped-rules findings (surfaced per analysis
-    result in the precision counters)."""
+    result in the precision counters).  :func:`register_program` /
+    :func:`unregister_program` invalidate the cache, so the count always
+    reflects the current program set."""
     return len(lint_shipped())

@@ -8,6 +8,7 @@ an executed ``SELFDESTRUCT`` opcode — exactly the success criterion the
 paper uses on its Ropsten fork.
 """
 
+from repro.kill.bundle import BundleKill, BundleKillOutcome, deploy_bundle
 from repro.kill.killer import EthainterKill, KillOutcome, KillReport
 from repro.kill.reentrancy import (
     ReentrancyKill,
@@ -16,10 +17,13 @@ from repro.kill.reentrancy import (
 )
 
 __all__ = [
+    "BundleKill",
+    "BundleKillOutcome",
     "EthainterKill",
     "KillOutcome",
     "KillReport",
     "ReentrancyKill",
     "ReentrancyOutcome",
     "ReentrancyReport",
+    "deploy_bundle",
 ]

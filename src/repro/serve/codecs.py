@@ -50,6 +50,17 @@ def decode_request(
             % (", ".join(unknown), ", ".join(sorted(_REQUEST_FIELDS)))
         )
     overrides = dict(payload)
+    if "bundle" in overrides and overrides["bundle"] is not None:
+        from repro.core.linkage import bundle_from_specs
+
+        try:
+            # allow_files stays False: an HTTP request must not be able to
+            # read files off the server's disk.
+            overrides["bundle"] = bundle_from_specs(
+                overrides["bundle"], allow_files=False
+            )
+        except ValueError as error:
+            raise BadRequest("bad bundle: %s" % error) from None
     if "bytecode" in overrides:
         text = overrides["bytecode"]
         if not isinstance(text, str):

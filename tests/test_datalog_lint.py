@@ -8,10 +8,14 @@ from repro.datalog.lint import (
     LintFinding,
     format_findings,
     has_errors,
+    lint_cross_program,
     lint_shipped,
     lint_text,
+    register_program,
+    shipped_finding_count,
     shipped_programs,
     stratification_preview,
+    unregister_program,
 )
 
 
@@ -181,6 +185,86 @@ class TestShippedRules:
         names = [name for name, _ in shipped_programs()]
         assert any("datalog_rules" in name for name in names)
         assert any("bytecode_datalog" in name for name in names)
+        assert any("linkage" in name for name in names)
+
+
+class TestCrossProgramChecks:
+    def test_cross_arity_mismatch_flags_every_declaration(self):
+        findings = lint_cross_program(
+            [
+                ("a.dl", ".decl Edge(x, y)\nPath(x, y) :- Edge(x, y)."),
+                ("b.dl", ".decl Edge(x, y, w)\nPath(x, y) :- Edge(x, y, w)."),
+            ]
+        )
+        mismatches = [f for f in findings if f.code == "cross-arity-mismatch"]
+        assert len(mismatches) == 2  # one anchored in each program
+        assert {f.source for f in mismatches} == {"a.dl", "b.dl"}
+        assert all(f.severity == "error" for f in mismatches)
+        assert has_errors(findings)
+
+    def test_consistent_arities_across_programs_are_clean(self):
+        findings = lint_cross_program(
+            [
+                ("a.dl", ".decl Edge(x, y)\nPath(x, y) :- Edge(x, y)."),
+                ("b.dl", ".decl Edge(x, y)\nLoop(x) :- Edge(x, x)."),
+            ]
+        )
+        assert [f for f in findings if f.code == "cross-arity-mismatch"] == []
+
+    def test_unread_edb_is_a_warning(self):
+        findings = lint_cross_program(
+            [("a.dl", ".decl Orphan(x)\nPath(x, y) :- Edge(x, y).")]
+        )
+        assert codes(findings) == ["unread-edb"]
+        assert findings[0].severity == "warning"
+        assert "Orphan" in findings[0].message
+
+    def test_relation_read_in_another_program_is_not_unread(self):
+        findings = lint_cross_program(
+            [
+                ("a.dl", ".decl Seed(x)"),
+                ("b.dl", "Out(x) :- Seed(x)."),
+            ]
+        )
+        assert [f for f in findings if f.code == "unread-edb"] == []
+
+    def test_syntax_error_programs_are_skipped(self):
+        findings = lint_cross_program(
+            [("bad.dl", "This is not Datalog ::-")]
+        )
+        assert findings == []
+
+    def test_shipped_cross_checks_run_in_lint_shipped(self):
+        register_program("test:cross", ".decl Phantom(a, b)")
+        try:
+            found = lint_shipped()
+            assert any(
+                f.code == "unread-edb" and "Phantom" in f.message
+                for f in found
+            )
+        finally:
+            unregister_program("test:cross")
+        assert lint_shipped() == []
+
+
+class TestFindingCountInvalidation:
+    def test_register_program_invalidates_cached_count(self):
+        shipped_finding_count.cache_clear()
+        baseline = shipped_finding_count()
+        # A registered program with a lint finding must change the cached
+        # count immediately — the regression was a stale lru_cache serving
+        # the pre-registration value.
+        register_program("test:stale", "Bad(x, q) :- Edge(x, y).")
+        try:
+            assert shipped_finding_count() > baseline
+        finally:
+            unregister_program("test:stale")
+        assert shipped_finding_count() == baseline
+
+    def test_unregister_missing_program_is_noop(self):
+        before = shipped_finding_count()
+        unregister_program("test:never-registered")
+        assert shipped_finding_count() == before
 
 
 class TestStratificationPreview:
